@@ -1,0 +1,50 @@
+//===-- bench/BenchUtil.h - Shared bench helpers -----------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_BENCH_BENCHUTIL_H
+#define EOE_BENCH_BENCHUTIL_H
+
+#include "ddg/DepGraph.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+
+namespace eoe {
+namespace bench {
+
+/// Formats a slice size as the paper's "static/dynamic" cell.
+inline std::string sizeCell(const ddg::SliceStats &S) {
+  return std::to_string(S.StaticStmts) + "/" +
+         std::to_string(S.DynamicInstances);
+}
+
+/// Formats a ratio pair "a/b" with one decimal.
+inline std::string ratioCell(const ddg::SliceStats &Num,
+                             const ddg::SliceStats &Den) {
+  double SR = Den.StaticStmts
+                  ? static_cast<double>(Num.StaticStmts) / Den.StaticStmts
+                  : 0.0;
+  double DR = Den.DynamicInstances
+                  ? static_cast<double>(Num.DynamicInstances) /
+                        Den.DynamicInstances
+                  : 0.0;
+  return formatDouble(SR, 2) + "/" + formatDouble(DR, 1);
+}
+
+/// Prints a bench banner so the combined bench log is navigable.
+inline void banner(const char *Title) {
+  std::printf("\n================================================================"
+              "===============\n%s\n============================================="
+              "==================================\n",
+              Title);
+}
+
+} // namespace bench
+} // namespace eoe
+
+#endif // EOE_BENCH_BENCHUTIL_H

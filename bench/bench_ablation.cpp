@@ -1,0 +1,95 @@
+//===-- bench/bench_ablation.cpp - Design-choice ablations ----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Ablates the design decisions DESIGN.md section 5 calls out, across all
+// nine faults:
+//   1. Verify-fanout (Figure 5): verifying p -> t for every potential
+//      dependent of a winning predicate costs extra verifications but
+//      enables pruning.
+//   2. One-instance-per-predicate candidate dedup vs all instances.
+//   3. Potential-dependence backend: pure static vs profile-union graph
+//      (the paper's prototype used the union graph).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Table.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace eoe;
+using namespace eoe::bench;
+using namespace eoe::workloads;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  FaultRunner::Options Opts;
+};
+
+} // namespace
+
+int main() {
+  banner("Ablations: fanout / candidate dedup / PD backend "
+         "(located count, total verifications, total edges, total IPS "
+         "instances over the 9 faults)");
+
+  std::vector<Config> Configs;
+  {
+    Config C{"baseline (fanout, dedup, static PD)", {}};
+    Configs.push_back(C);
+  }
+  {
+    Config C{"no verify-fanout", {}};
+    C.Opts.VerifyFanout = false;
+    Configs.push_back(C);
+  }
+  {
+    Config C{"all candidate instances (no dedup)", {}};
+    C.Opts.OnePerPredicate = false;
+    Configs.push_back(C);
+  }
+  {
+    Config C{"union-graph PD backend", {}};
+    C.Opts.Backend = slicing::PotentialDepAnalyzer::Backend::UnionGraph;
+    Configs.push_back(C);
+  }
+  {
+    Config C{"safe path check (vs paper's edge check)", {}};
+    C.Opts.UsePathCheck = true;
+    Configs.push_back(C);
+  }
+
+  Table T({"configuration", "located", "verifications", "edges",
+           "IPS dyn (total)", "prunings"});
+  for (Config &C : Configs) {
+    C.Opts.ComputeSlices = false;
+    size_t Located = 0, Verifs = 0, Edges = 0, IPS = 0, Prunings = 0;
+    for (const FaultInfo &F : faults()) {
+      FaultRunner Runner(F);
+      if (!Runner.valid())
+        continue;
+      ExperimentResult R = Runner.run(C.Opts);
+      Located += R.Valid ? 1 : 0;
+      Verifs += R.Report.Verifications;
+      Edges += R.Report.ExpandedEdges;
+      IPS += R.Report.IPSStats.DynamicInstances;
+      Prunings += R.Report.UserPrunings;
+    }
+    T.addRow({C.Name, std::to_string(Located) + "/9", std::to_string(Verifs),
+              std::to_string(Edges), std::to_string(IPS),
+              std::to_string(Prunings)});
+  }
+  std::printf("%s", T.str().c_str());
+
+  std::printf("\nReading: the paper argues fanout buys pruning power "
+              "(Figure 5) at the cost of verifications, candidate dedup "
+              "keeps verification counts practical, and the union-graph "
+              "backend trades false candidates for profile coverage.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===-- bench/bench_baseline_cps.cpp - ICSE'06 baseline comparison -------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Compares critical-predicate switching (ICSE'06, the technique the paper
+// builds on -- section 6) against the demand-driven implicit-dependence
+// locator on the nine faults. The contrast the paper draws:
+//  - a critical predicate, when one exists, is merely ON the failure
+//    path; the root cause still has to be reached from it;
+//  - when the omitted branch had several observable effects, no single
+//    switch reproduces the correct output and the search fails outright;
+//  - brute-force switching re-executes for every candidate, while the
+//    demand-driven procedure verifies only a selected few.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/CriticalPredicate.h"
+#include "lang/PrettyPrinter.h"
+#include "support/Table.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace eoe;
+using namespace eoe::bench;
+using namespace eoe::core;
+using namespace eoe::workloads;
+
+int main() {
+  banner("Baseline: critical-predicate switching (ICSE'06) vs "
+         "implicit-dependence location (this paper)");
+
+  Table T({"Fault", "CPS found?", "CPS switches", "CPS hit = root?",
+           "locate iters", "locate verifs", "root located?"});
+  size_t CPSFound = 0, CPSIsRoot = 0, Located = 0;
+  for (const FaultInfo &F : faults()) {
+    FaultRunner Runner(F);
+    if (!Runner.valid()) {
+      std::fprintf(stderr, "error: %s did not reproduce\n", F.Id.c_str());
+      return 1;
+    }
+
+    // The ICSE'06 search.
+    core::DebugSession Session(Runner.faultyProgram(), F.FailingInput,
+                               Runner.expectedOutputs(), {});
+    CriticalPredicateSearch Search(Session.interpreter(), Session.trace(),
+                                   F.FailingInput, Runner.expectedOutputs(),
+                                   CriticalPredicateSearch::Config());
+    auto CPS = Search.search();
+    bool HitIsRoot =
+        CPS.Found && Session.trace().step(CPS.CriticalInstance).Stmt ==
+                         Runner.rootCause();
+
+    // This paper's technique.
+    FaultRunner::Options Opts;
+    Opts.ComputeSlices = false;
+    ExperimentResult R = Runner.run(Opts);
+
+    T.addRow({F.Id, CPS.Found ? "yes" : "no", std::to_string(CPS.Switches),
+              CPS.Found ? (HitIsRoot ? "yes" : "NO") : "-",
+              std::to_string(R.Report.Iterations),
+              std::to_string(R.Report.Verifications),
+              R.Valid ? "yes" : "NO"});
+    CPSFound += CPS.Found;
+    CPSIsRoot += HitIsRoot;
+    Located += R.Valid;
+  }
+  std::printf("%s", T.str().c_str());
+
+  std::printf("\nCPS finds a critical predicate for %zu/9 faults and it is "
+              "the root cause for %zu/9; implicit-dependence location "
+              "reaches the root cause for %zu/9.\n",
+              CPSFound, CPSIsRoot, Located);
+  std::printf("This is the paper's section 6 contrast: switching exposes "
+              "evidence, but only the dependence-walking technique reaches "
+              "execution omission root causes.\n");
+  return Located == 9 ? 0 : 1;
+}

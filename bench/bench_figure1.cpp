@@ -1,0 +1,68 @@
+//===-- bench/bench_figure1.cpp - Figure 1: the motivating gzip error ----------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Walks the paper's Figure 1 end to end on the gzip-v2-f3 workload: the
+// dynamic slice misses the root cause, the relevant slice captures it
+// (with the false S7 dependence), and the demand-driven procedure adds
+// exactly the strong implicit edge S4 -> S6 and reaches the root cause.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "lang/PrettyPrinter.h"
+#include "support/Table.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace eoe;
+using namespace eoe::bench;
+using namespace eoe::workloads;
+
+int main() {
+  banner("Figure 1: the motivating execution omission error (gzip)");
+
+  const FaultInfo *F = findFault("gzip-v2-f3");
+  if (!F) {
+    std::fprintf(stderr, "error: gzip-v2-f3 not registered\n");
+    return 1;
+  }
+  FaultRunner Runner(*F);
+  if (!Runner.valid()) {
+    std::fprintf(stderr, "error: fault did not reproduce\n");
+    return 1;
+  }
+
+  std::printf("\nRoot cause (line %u): %s\n", F->RootCauseLine,
+              lang::describeStmt(Runner.faultyProgram(), Runner.rootCause())
+                  .c_str());
+
+  FaultRunner::Options Opts;
+  ExperimentResult R = Runner.run(Opts);
+
+  Table T({"Technique", "size (static/dynamic)", "captures root cause?"});
+  T.addRow({"dynamic slice (DS)", sizeCell(R.DS), R.DSHasRoot ? "yes" : "no"});
+  T.addRow({"relevant slice (RS)", sizeCell(R.RS), R.RSHasRoot ? "yes" : "no"});
+  T.addRow({"pruned slice (PS)", sizeCell(R.PS), R.PSHasRoot ? "yes" : "no"});
+  T.addRow({"implicit-dep pruned slice (IPS)", sizeCell(R.Report.IPSStats),
+            R.Report.RootCauseFound ? "yes" : "no"});
+  std::printf("%s", T.str().c_str());
+
+  std::printf("\nDemand-driven session: %zu user prunings, %zu "
+              "verifications, %zu iterations, %zu implicit edges (%zu "
+              "strong).\n",
+              R.Report.UserPrunings, R.Report.Verifications,
+              R.Report.Iterations, R.Report.ExpandedEdges,
+              R.Report.StrongEdges);
+  std::printf("Paper's walk-through: prune {S2,S3,S6,S10} -> {S2,S6,S10}; "
+              "VerifyDep(S7,S10) = NOT_ID; VerifyDep(S4,S6) = STRONG_ID; "
+              "final slice {S1,S2,S4,S6,S10} contains the root cause S1.\n");
+
+  bool Ok = !R.DSHasRoot && R.RSHasRoot && !R.PSHasRoot &&
+            R.Report.RootCauseFound && R.Report.StrongEdges >= 1;
+  std::printf("\nFigure 1 shape: %s\n", Ok ? "REPRODUCED" : "VIOLATED");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+//===-- bench/bench_naive_combination.cpp - Section 3.2's pitfall --------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Reproduces the paper's closing argument of section 3.2: "a plausible
+// alternative ... is to directly combine relevant slicing and confidence
+// analysis. Unfortunately, this straightforward solution is problematic:
+// propagating confidence along these possibly false dependence edges may
+// result in a faulty statement appearing non-faulty" (the Figure 1
+// example: conf 1 flows from the correct S9 over the false potential edge
+// S7 -> S9 and on to the root S1, sanitizing it).
+//
+// The naive scheme modeled here: add every potential dependence edge to
+// the graph unverified, and treat "reaches a correct output" as
+// confidence 1 (reachability-based propagation). A fault's root cause is
+// *sanitized* when it reaches a correct output only through potential
+// edges. The verified-implicit-edge approach never adds the false edges,
+// so the root cause survives pruning for every fault.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ddg/DepGraph.h"
+#include "support/Table.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace eoe;
+using namespace eoe::bench;
+using namespace eoe::interp;
+using namespace eoe::workloads;
+
+int main() {
+  banner("Section 3.2: naive 'relevant slicing + confidence' combination "
+         "vs verified implicit dependences");
+
+  Table T({"Fault", "root reaches correct output", "via real edges only",
+           "via potential edges (naive)", "naive sanitizes root?",
+           "verified approach locates?"});
+
+  size_t Sanitized = 0, Located = 0;
+  for (const FaultInfo &F : faults()) {
+    FaultRunner Runner(F);
+    if (!Runner.valid()) {
+      std::fprintf(stderr, "error: %s did not reproduce\n", F.Id.c_str());
+      return 1;
+    }
+    core::DebugSession Session(Runner.faultyProgram(), F.FailingInput,
+                               Runner.expectedOutputs(), F.TestSuite);
+    const ExecutionTrace &Trace = Session.trace();
+    const auto &V = Session.verdicts();
+
+    std::vector<TraceIdx> CorrectSeeds;
+    for (size_t O : V.CorrectOutputs)
+      CorrectSeeds.push_back(Trace.Outputs.at(O).Step);
+
+    // Reachability over the *real* (data + control) edges.
+    ddg::DepGraph Real(Trace);
+    auto RealReach =
+        Real.backwardClosure(CorrectSeeds, ddg::DepGraph::ClosureOptions());
+
+    // The naive scheme: every potential dependence becomes an edge.
+    ddg::DepGraph Naive(Trace);
+    for (TraceIdx I = 0; I < Trace.size(); ++I)
+      for (const UseRecord &Use : Trace.step(I).Uses)
+        for (TraceIdx P :
+             Session.potentialDeps().compute(I, Use, /*OnePerPred=*/true))
+          Naive.addImplicitEdge(I, P, /*Strong=*/false);
+    auto NaiveReach =
+        Naive.backwardClosure(CorrectSeeds, ddg::DepGraph::ClosureOptions());
+
+    StmtId Root = Runner.rootCause();
+    bool RealHit = false, NaiveHit = false;
+    for (TraceIdx I = 0; I < Trace.size(); ++I) {
+      if (Trace.step(I).Stmt != Root)
+        continue;
+      RealHit = RealHit || RealReach[I];
+      NaiveHit = NaiveHit || NaiveReach[I];
+    }
+    // Sanitized: the naive conf-1 rule prunes the root because false
+    // potential edges (and only they) connect it to correct outputs.
+    bool RootSanitized = NaiveHit && !RealHit;
+
+    FaultRunner::Options Opts;
+    Opts.ComputeSlices = false;
+    ExperimentResult R = Runner.run(Opts);
+
+    T.addRow({F.Id, NaiveHit ? "yes" : "no", RealHit ? "yes" : "no",
+              (NaiveHit && !RealHit) ? "yes" : "no",
+              RootSanitized ? "YES (root lost)" : "no",
+              R.Valid ? "yes" : "NO"});
+    Sanitized += RootSanitized;
+    Located += R.Valid;
+  }
+  std::printf("%s", T.str().c_str());
+
+  std::printf("\nNaive combination sanitizes the root cause for %zu/9 "
+              "faults; the verified-implicit-edge procedure locates "
+              "%zu/9.\n",
+              Sanitized, Located);
+  std::printf("Paper: \"confidence analysis can only be performed along "
+              "verified implicit dependence edges\" -- %s.\n",
+              (Located == 9 && Sanitized > 0) ? "reproduced"
+                                              : "see rows above");
+  return Located == 9 ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+//===-- bench/bench_scaling.cpp - Cost scaling with trace length ----------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Supplementary scaling study backing Table 4's cost model: tracing,
+// region-tree construction, one verification (switched re-execution +
+// alignment), and a backward slice all scale linearly with trace length.
+// The subject is the Figure-1 shape with a crc loop of parameterized
+// iteration count between the omission and the observation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "align/Aligner.h"
+#include "analysis/StaticAnalysis.h"
+#include "ddg/DepGraph.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "support/Diagnostic.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace eoe;
+using namespace eoe::interp;
+
+namespace {
+
+std::string subject(int Iterations) {
+  return "fn main() {\n"
+         "var save = 0;\n"
+         "var flags = 0;\n"
+         "if (save) {\n"                       // line 4 <- switched
+         "flags = flags + 8;\n"
+         "}\n"
+         "var i = 0;\n"
+         "var crc = 0;\n"
+         "while (i < " + std::to_string(Iterations) + ") {\n"
+         "crc = (crc * 31 + i) % 65521;\n"
+         "i = i + 1;\n"
+         "}\n"
+         "print(crc);\n"
+         "print(flags);\n"                     // line 14: the observation
+         "}\n";
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Scaling: per-phase cost vs trace length "
+                "(all phases are expected to grow linearly)");
+
+  Table T({"loop iters", "trace len", "trace (ms)", "regions (ms)",
+           "verify once (ms)", "slice (ms)"});
+  double PrevVerify = 0;
+  bool Linearish = true;
+  int PrevIters = 0;
+  for (int Iterations : {2000, 8000, 32000, 128000}) {
+    DiagnosticEngine Diags;
+    auto Prog = lang::parseAndCheck(subject(Iterations), Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
+      return 1;
+    }
+    analysis::StaticAnalysis SA(*Prog);
+    Interpreter Interp(*Prog, SA);
+
+    Timer TraceTimer;
+    ExecutionTrace E = Interp.run({});
+    double TraceMs = TraceTimer.seconds() * 1000;
+
+    Timer RegionTimer;
+    align::RegionTree Tree(E);
+    double RegionMs = RegionTimer.seconds() * 1000;
+
+    Timer VerifyTimer;
+    SwitchSpec Spec{Prog->statementAtLine(4), 1};
+    ExecutionTrace EP = Interp.runSwitched({}, Spec, 10'000'000);
+    align::ExecutionAligner A(E, EP);
+    align::AlignResult R = A.match(static_cast<TraceIdx>(E.size() - 1));
+    double VerifyMs = VerifyTimer.seconds() * 1000;
+    if (!R.found()) {
+      std::fprintf(stderr, "alignment unexpectedly failed\n");
+      return 1;
+    }
+
+    Timer SliceTimer;
+    ddg::DepGraph G(E);
+    auto Member = G.backwardClosure({E.Outputs[0].Step},
+                                    ddg::DepGraph::ClosureOptions());
+    double SliceMs = SliceTimer.seconds() * 1000;
+    if (G.stats(Member).DynamicInstances < static_cast<size_t>(Iterations)) {
+      std::fprintf(stderr, "slice unexpectedly small\n");
+      return 1;
+    }
+
+    T.addRow({std::to_string(Iterations), std::to_string(E.size()),
+              formatDouble(TraceMs, 2), formatDouble(RegionMs, 2),
+              formatDouble(VerifyMs, 2), formatDouble(SliceMs, 2)});
+
+    // Linearity check: 4x the work should cost clearly less than ~12x
+    // (generous bound; rules out accidental quadratic behaviour).
+    if (PrevVerify > 0.05 && Iterations == PrevIters * 4)
+      Linearish = Linearish && VerifyMs < 12 * PrevVerify + 5;
+    PrevVerify = VerifyMs;
+    PrevIters = Iterations;
+  }
+  std::printf("%s", T.str().c_str());
+  std::printf("\nLinear-scaling sanity check: %s\n",
+              Linearish ? "HOLDS" : "VIOLATED (superlinear growth!)");
+  return Linearish ? 0 : 1;
+}

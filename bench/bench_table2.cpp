@@ -1,0 +1,93 @@
+//===-- bench/bench_table2.cpp - Table 2: slice sizes --------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Regenerates Table 2 ("Execution Omission Errors"): for every fault, the
+// relevant slice (RS), dynamic slice (DS), and pruned slice (PS) sizes in
+// unique statements / dynamic instances, plus the RS/DS and RS/PS ratios.
+// The paper's observations to reproduce in shape:
+//   - RS captures every root cause; DS and PS miss all of them;
+//   - static RS and DS are comparable, dynamic RS is much larger;
+//   - PS is significantly smaller than RS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Table.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace eoe;
+using namespace eoe::bench;
+using namespace eoe::workloads;
+
+namespace {
+
+struct PaperRow {
+  const char *Fault;
+  const char *RS, *DS, *PS, *RSoverDS, *RSoverPS;
+};
+
+// Verbatim from the paper's Table 2 (static/dynamic).
+const PaperRow PaperRows[] = {
+    {"flex-v1-f9", "963/88K", "946/83K", "13/31", "1.02/1.06", "74/2838"},
+    {"flex-v2-f14", "849/157K", "714/27K", "9/476", "1.18/5.8", "94/329"},
+    {"flex-v3-f10", "600/103K", "80/6.8K", "8/294", "7.5/15.1", "75/350"},
+    {"flex-v4-f6", "894/265K", "629/29K", "2/4", "1.42/9.14", "447/66250"},
+    {"flex-v5-f6", "108/915", "104/873", "9/15", "1.04/1.05", "12/61"},
+    {"grep-v4-f2", "489/32K", "416/3K", "416/3K", "1.18/10.7", "1.18/10.7"},
+    {"gzip-v2-f3", "48/618", "6/9", "3/5", "8/68.7", "16/123"},
+    {"sed-v3-f2", "575/392K", "498/118K", "18/76", "1.15/3.32", "31.9/5158"},
+    {"sed-v3-f3", "222/5.0K", "202/3.8K", "202/3.8k", "1.10/1.32",
+     "1.10/1.32"},
+};
+
+const PaperRow *paperRow(const std::string &Id) {
+  for (const PaperRow &R : PaperRows)
+    if (Id == R.Fault)
+      return &R;
+  return nullptr;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Table 2: RS / DS / PS slice sizes (static/dynamic), "
+                "paper values in parentheses");
+
+  Table T({"Fault", "RS (paper)", "DS (paper)", "PS (paper)", "RS/DS",
+           "RS/PS", "RS root?", "DS root?", "PS root?"});
+  bool ShapeHolds = true;
+  for (const FaultInfo &F : faults()) {
+    FaultRunner Runner(F);
+    if (!Runner.valid()) {
+      std::fprintf(stderr, "error: %s did not reproduce\n", F.Id.c_str());
+      return 1;
+    }
+    FaultRunner::Options Opts;
+    ExperimentResult R = Runner.run(Opts);
+    const PaperRow *P = paperRow(F.Id);
+
+    auto Cell = [&](const ddg::SliceStats &S, const char *Paper) {
+      return sizeCell(S) + " (" + (Paper ? Paper : "-") + ")";
+    };
+    T.addRow({F.Id, Cell(R.RS, P ? P->RS : nullptr),
+              Cell(R.DS, P ? P->DS : nullptr),
+              Cell(R.PS, P ? P->PS : nullptr), ratioCell(R.RS, R.DS),
+              ratioCell(R.RS, R.PS), R.RSHasRoot ? "yes" : "NO",
+              R.DSHasRoot ? "YES" : "no", R.PSHasRoot ? "YES" : "no"});
+
+    ShapeHolds = ShapeHolds && R.RSHasRoot && !R.DSHasRoot && !R.PSHasRoot &&
+                 R.RS.DynamicInstances >= R.DS.DynamicInstances &&
+                 R.PS.DynamicInstances <= R.DS.DynamicInstances;
+  }
+  std::printf("%s", T.str().c_str());
+
+  std::printf("\nShape check (RS captures every root cause, DS/PS miss all, "
+              "dyn RS >= dyn DS >= dyn PS): %s\n",
+              ShapeHolds ? "HOLDS" : "VIOLATED");
+  return ShapeHolds ? 0 : 1;
+}

@@ -1,0 +1,152 @@
+//===-- bench/bench_table4.cpp - Table 4: performance ---------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Regenerates Table 4 ("Performance"): per fault, the cost of a plain
+// (uninstrumented) run, a graph-construction (tracing) run, and the
+// verification procedure, using google-benchmark for stable timing of the
+// first two. The paper's observation to reproduce in shape: graph
+// construction dominates plain execution by a large constant factor
+// (their valgrind prototype: 18.3x - 154.9x), and verification cost
+// scales with the number of re-executions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/StaticAnalysis.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "support/Diagnostic.h"
+#include "support/Table.h"
+#include "workloads/Runner.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+using namespace eoe;
+using namespace eoe::workloads;
+
+namespace {
+
+/// Parsed programs shared across benchmark registrations.
+struct Subject {
+  std::unique_ptr<lang::Program> Prog;
+  std::unique_ptr<analysis::StaticAnalysis> SA;
+  std::unique_ptr<interp::Interpreter> Interp;
+  const FaultInfo *Fault;
+};
+
+std::map<std::string, Subject> &subjects() {
+  static std::map<std::string, Subject> Map;
+  return Map;
+}
+
+void benchPlain(benchmark::State &State, const std::string &Id) {
+  Subject &S = subjects()[Id];
+  interp::Interpreter::Options Opts;
+  Opts.Trace = false;
+  for (auto _ : State) {
+    auto T = S.Interp->run(S.Fault->FailingInput, Opts);
+    benchmark::DoNotOptimize(T.Outputs.size());
+  }
+}
+
+void benchGraph(benchmark::State &State, const std::string &Id) {
+  Subject &S = subjects()[Id];
+  interp::Interpreter::Options Opts;
+  for (auto _ : State) {
+    auto T = S.Interp->run(S.Fault->FailingInput, Opts);
+    benchmark::DoNotOptimize(T.Steps.size());
+  }
+}
+
+void benchVerification(benchmark::State &State, const std::string &Id) {
+  Subject &S = subjects()[Id];
+  // One representative verification: re-execute with the first predicate
+  // instance switched and align (the unit cost the paper's Verif column
+  // accumulates).
+  auto Trace = S.Interp->run(S.Fault->FailingInput);
+  TraceIdx Pred = InvalidId;
+  for (TraceIdx I = 0; I < Trace.size(); ++I) {
+    if (Trace.step(I).isPredicateInstance()) {
+      Pred = I;
+      break;
+    }
+  }
+  if (Pred == InvalidId) {
+    State.SkipWithError("no predicate instance");
+    return;
+  }
+  interp::SwitchSpec Spec{Trace.step(Pred).Stmt, Trace.step(Pred).InstanceNo};
+  for (auto _ : State) {
+    auto Switched = S.Interp->runSwitched(S.Fault->FailingInput, Spec,
+                                          2'000'000);
+    align::ExecutionAligner A(Trace, Switched);
+    benchmark::DoNotOptimize(A.match(static_cast<TraceIdx>(Trace.size() - 1)));
+  }
+}
+
+struct PaperRow {
+  const char *Fault;
+  double Plain, Graph, Verif, Ratio;
+};
+
+// Verbatim from the paper's Table 4 (seconds on their 2007 hardware).
+const PaperRow PaperRows[] = {
+    {"flex-v1-f9", 0.29, 22.7, 2.7, 78.3},
+    {"flex-v2-f14", 0.28, 22.3, 1.92, 79.6},
+    {"flex-v3-f10", 0.28, 22.4, 0.52, 80},
+    {"flex-v4-f6", 0.34, 15.6, 3.6, 45.9},
+    {"flex-v5-f6", 0.12, 2.2, 0.48, 18.3},
+    {"grep-v4-f2", 0.43, 66.6, 43.3, 154.9},
+    {"gzip-v2-f3", 0.41, 13.5, 0.68, 32.9},
+    {"sed-v3-f2", 0.26, 11.4, 16.6, 43.8},
+    {"sed-v3-f3", 0.14, 4.7, 32.2, 33.6},
+};
+
+void printPaperReference() {
+  bench::banner("Table 4: Performance -- paper reference values "
+                "(valgrind prototype, seconds)");
+  Table T({"Fault", "Plain (s)", "Graph (s)", "Verif (s)", "Graph/Plain"});
+  for (const PaperRow &R : PaperRows)
+    T.addRow({R.Fault, formatDouble(R.Plain, 2), formatDouble(R.Graph, 1),
+              formatDouble(R.Verif, 2), formatDouble(R.Ratio, 1)});
+  std::printf("%s", T.str().c_str());
+  std::printf("\nOur measurements follow (google-benchmark; compare the "
+              "Graph/Plain ratio's order of magnitude, not absolute "
+              "times -- the substrates differ).\n\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const FaultInfo &F : faults()) {
+    DiagnosticEngine Diags;
+    Subject S;
+    S.Prog = lang::parseAndCheck(F.FaultySource, Diags);
+    if (!S.Prog) {
+      std::fprintf(stderr, "error: %s does not parse\n", F.Id.c_str());
+      return 1;
+    }
+    S.SA = std::make_unique<analysis::StaticAnalysis>(*S.Prog);
+    S.Interp = std::make_unique<interp::Interpreter>(*S.Prog, *S.SA);
+    S.Fault = &F;
+    subjects()[F.Id] = std::move(S);
+
+    benchmark::RegisterBenchmark(("plain/" + F.Id).c_str(), benchPlain, F.Id);
+    benchmark::RegisterBenchmark(("graph/" + F.Id).c_str(), benchGraph, F.Id);
+    benchmark::RegisterBenchmark(("verify_once/" + F.Id).c_str(),
+                                 benchVerification, F.Id);
+  }
+
+  printPaperReference();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===-- align/Aligner.cpp - Execution alignment (Algorithm 1) ----------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Aligner.h"
+
+#include <cassert>
+
+using namespace eoe;
+using namespace eoe::align;
+using namespace eoe::interp;
+
+ExecutionAligner::ExecutionAligner(const ExecutionTrace &Original,
+                                   const ExecutionTrace &Switched)
+    : E(Original), EP(Switched), TreeE(Original), TreeEP(Switched),
+      Switch(Switched.SwitchedStep) {}
+
+AlignResult ExecutionAligner::match(TraceIdx U) const {
+  assert(U < E.size() && "query point outside the original trace");
+
+  if (Switch == InvalidId) {
+    // No switch was applied: the runs are identical; E' may still be
+    // shorter if it aborted early.
+    if (U < EP.size() && EP.step(U).Stmt == E.step(U).Stmt)
+      return {U, AlignFailure::None};
+    return {InvalidId, AlignFailure::SwitchNotApplied};
+  }
+
+  // Everything up to and including the switch point is shared verbatim.
+  if (U <= Switch)
+    return {U, AlignFailure::None};
+
+  // Climb from Region(p) until the region contains u (Algorithm 1,
+  // Match()). These regions all start before the switch point, so their
+  // heads have identical indices in both executions.
+  TraceIdx R = TreeE.parent(Switch);
+  while (R != InvalidId && !TreeE.inRegion(U, R))
+    R = TreeE.parent(R);
+  // R == InvalidId denotes the virtual whole-execution region.
+  return matchInsideRegion(R, U, R);
+}
+
+AlignResult ExecutionAligner::matchInsideRegion(TraceIdx R, TraceIdx U,
+                                                TraceIdx RPrime) const {
+  // Iterative descent: region nesting depth grows with loop iteration
+  // counts (each iteration nests inside the previous one), so recursion
+  // would overflow the stack on long-running loops.
+  while (true) {
+    assert(TreeE.inRegion(U, R) && "region does not contain the query point");
+    if (R != InvalidId && U == R)
+      return {RPrime, AlignFailure::None};
+
+    const std::vector<TraceIdx> &Cs = TreeE.children(R);
+    const std::vector<TraceIdx> &CsP = TreeEP.children(RPrime);
+
+    bool Descended = false;
+    for (size_t I = 0; I < Cs.size(); ++I) {
+      TraceIdx C = Cs[I];
+      // Algorithm 1 lines 16/20: the switched run exhausted this
+      // region's subregions before reaching the one that contains u.
+      if (I >= CsP.size())
+        return {InvalidId, AlignFailure::RegionEndedEarly};
+      TraceIdx CP = CsP[I];
+      if (E.step(C).Stmt != EP.step(CP).Stmt)
+        return {InvalidId, AlignFailure::StaticMismatch};
+
+      if (!TreeE.inRegion(U, C))
+        continue; // Keep walking siblings in lockstep.
+
+      if (C == U)
+        return {CP, AlignFailure::None}; // Line 22: FirstStmt(r) == u.
+
+      // Line 23: a predicate on the path to u must take the same branch.
+      if (E.step(C).isPredicateInstance() &&
+          E.step(C).BranchTaken != EP.step(CP).BranchTaken)
+        return {InvalidId, AlignFailure::BranchDiverged};
+
+      R = C; // Line 24: descend one region level.
+      RPrime = CP;
+      Descended = true;
+      break;
+    }
+    if (!Descended) {
+      assert(false && "inRegion(U, R) held but no child contains U");
+      return {InvalidId, AlignFailure::StaticMismatch};
+    }
+  }
+}

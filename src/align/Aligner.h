@@ -1,0 +1,96 @@
+//===-- align/Aligner.h - Execution alignment (Algorithm 1) ------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Region-based execution alignment: the paper's Algorithm 1. Given an
+/// original execution E, a switched execution E' (same program, same
+/// input, one predicate instance's outcome negated), and a point u in E,
+/// the aligner finds the point in E' that corresponds to u, or reports
+/// that no such point exists and why.
+///
+/// Key invariant exploited: E and E' are byte-identical up to the switch
+/// point, so the switched instance and everything before it (including
+/// every region enclosing the switched predicate) have equal trace
+/// indices in both executions. Below the common ancestor region, regions
+/// are matched positionally, sibling by sibling, comparing static
+/// statements and branch outcomes exactly as the paper describes (with
+/// single-entry-multiple-exit regions failing the walk when the switched
+/// run exits a region early -- the paper's Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_ALIGN_ALIGNER_H
+#define EOE_ALIGN_ALIGNER_H
+
+#include "align/RegionTree.h"
+#include "interp/Trace.h"
+
+namespace eoe {
+namespace align {
+
+/// Why an alignment query failed to find a corresponding point.
+enum class AlignFailure {
+  None,
+  /// The switched run left the enclosing region before reaching the
+  /// sibling subregion that contains u (Figure 3's break case).
+  RegionEndedEarly,
+  /// A predicate on the path to u took a different branch in the
+  /// switched run (Algorithm 1 line 23).
+  BranchDiverged,
+  /// Lockstep siblings disagree on their static statement -- control
+  /// flow reconverged differently; treated as no-match.
+  StaticMismatch,
+  /// The switched run never reached the predicate (cannot happen for
+  /// well-formed queries; reported defensively, e.g. after a step-limit
+  /// abort before the switch point).
+  SwitchNotApplied
+};
+
+/// Result of one alignment query.
+struct AlignResult {
+  /// The instance in E' corresponding to u; InvalidId when not found.
+  TraceIdx Matched = InvalidId;
+  AlignFailure Why = AlignFailure::None;
+
+  bool found() const { return Matched != InvalidId; }
+};
+
+/// Aligns a switched execution against its original.
+class ExecutionAligner {
+public:
+  /// Both traces must outlive the aligner. \p Switched should carry a
+  /// SwitchedStep (the flipped predicate instance); aligning two
+  /// identical executions (no switch) degenerates to the identity.
+  ExecutionAligner(const interp::ExecutionTrace &Original,
+                   const interp::ExecutionTrace &Switched);
+
+  /// Finds the point in the switched run corresponding to instance \p U
+  /// of the original run. \p U may be any instance (before or after the
+  /// switch point).
+  AlignResult match(TraceIdx U) const;
+
+  const RegionTree &originalTree() const { return TreeE; }
+  const RegionTree &switchedTree() const { return TreeEP; }
+
+  /// The switched predicate instance (equal index in both runs);
+  /// InvalidId when the switched run carries no switch.
+  TraceIdx switchPoint() const { return Switch; }
+
+private:
+  AlignResult matchInsideRegion(TraceIdx R, TraceIdx U, TraceIdx RPrime) const;
+
+  const interp::ExecutionTrace &E;
+  const interp::ExecutionTrace &EP;
+  RegionTree TreeE;
+  RegionTree TreeEP;
+  TraceIdx Switch;
+};
+
+} // namespace align
+} // namespace eoe
+
+#endif // EOE_ALIGN_ALIGNER_H

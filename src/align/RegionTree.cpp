@@ -1,0 +1,72 @@
+//===-- align/RegionTree.cpp - Execution regions ------------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/RegionTree.h"
+
+#include <cassert>
+
+using namespace eoe;
+using namespace eoe::align;
+using namespace eoe::interp;
+
+RegionTree::RegionTree(const ExecutionTrace &Trace) : Trace(Trace) {
+  size_t N = Trace.size();
+  Children.assign(N, {});
+  Enter.assign(N, 0);
+  Exit.assign(N, 0);
+  Depth.assign(N, 0);
+
+  for (TraceIdx I = 0; I < N; ++I) {
+    TraceIdx P = Trace.step(I).CdParent;
+    if (P == InvalidId) {
+      Roots.push_back(I);
+      continue;
+    }
+    assert(P < I && "control-dependence parent must precede its children");
+    Children[P].push_back(I);
+  }
+
+  // Iterative DFS assigning Euler intervals for subtree membership.
+  uint32_t Clock = 0;
+  std::vector<std::pair<TraceIdx, size_t>> Stack;
+  for (TraceIdx Root : Roots) {
+    Stack.push_back({Root, 0});
+    Enter[Root] = Clock++;
+    Depth[Root] = 0;
+    while (!Stack.empty()) {
+      auto &[Node, NextChild] = Stack.back();
+      if (NextChild < Children[Node].size()) {
+        TraceIdx C = Children[Node][NextChild++];
+        Enter[C] = Clock++;
+        Depth[C] = Depth[Node] + 1;
+        Stack.push_back({C, 0});
+        continue;
+      }
+      Exit[Node] = Clock++;
+      Stack.pop_back();
+    }
+  }
+}
+
+const std::vector<TraceIdx> &RegionTree::children(TraceIdx Head) const {
+  if (Head == InvalidId)
+    return Roots;
+  return Children.at(Head);
+}
+
+bool RegionTree::inRegion(TraceIdx Node, TraceIdx Head) const {
+  if (Head == InvalidId)
+    return true;
+  return Enter[Head] <= Enter[Node] && Exit[Node] <= Exit[Head];
+}
+
+size_t RegionTree::regionSize(TraceIdx Head) const {
+  if (Head == InvalidId)
+    return Trace.size();
+  // Euler intervals contain two events per node.
+  return (Exit[Head] - Enter[Head] + 1) / 2;
+}

@@ -1,0 +1,121 @@
+//===-- analysis/CFG.cpp - Control-flow graphs ------------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eoe;
+using namespace eoe::analysis;
+using namespace eoe::lang;
+
+namespace {
+
+/// Builds CFG nodes bottom-up: statements are visited in reverse so every
+/// statement knows its fall-through successor when its node is created.
+class Builder {
+public:
+  explicit Builder(CFG::Node *NodesUnused) { (void)NodesUnused; }
+
+  std::vector<CFG::Node> Nodes;
+  std::vector<std::pair<StmtId, uint32_t>> StmtToNode;
+
+  uint32_t addNode(StmtId Stmt) {
+    Nodes.push_back({Stmt, {}, {}});
+    if (isValidId(Stmt))
+      StmtToNode.push_back({Stmt, static_cast<uint32_t>(Nodes.size() - 1)});
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+
+  /// Returns the entry node of \p Body when its fall-through continuation
+  /// is \p Next; break/continue inside jump to \p BreakTo / \p ContinueTo.
+  uint32_t buildBody(const std::vector<Stmt *> &Body, uint32_t Next,
+                     uint32_t BreakTo, uint32_t ContinueTo) {
+    uint32_t Entry = Next;
+    for (auto It = Body.rbegin(); It != Body.rend(); ++It)
+      Entry = buildStmt(*It, Entry, BreakTo, ContinueTo);
+    return Entry;
+  }
+
+  uint32_t buildStmt(Stmt *S, uint32_t Next, uint32_t BreakTo,
+                     uint32_t ContinueTo) {
+    switch (S->kind()) {
+    case Stmt::Kind::If: {
+      auto *If = cast<IfStmt>(S);
+      uint32_t ThenEntry = buildBody(If->thenBody(), Next, BreakTo, ContinueTo);
+      uint32_t ElseEntry = buildBody(If->elseBody(), Next, BreakTo, ContinueTo);
+      uint32_t N = addNode(S->id());
+      Nodes[N].Succs = {ThenEntry, ElseEntry};
+      return N;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      uint32_t N = addNode(S->id());
+      uint32_t BodyEntry =
+          buildBody(W->body(), /*Next=*/N, /*BreakTo=*/Next, /*ContinueTo=*/N);
+      Nodes[N].Succs = {BodyEntry, Next};
+      return N;
+    }
+    case Stmt::Kind::Break: {
+      uint32_t N = addNode(S->id());
+      assert(BreakTo != InvalidId && "break outside loop survived Sema");
+      Nodes[N].Succs = {BreakTo};
+      return N;
+    }
+    case Stmt::Kind::Continue: {
+      uint32_t N = addNode(S->id());
+      assert(ContinueTo != InvalidId && "continue outside loop survived Sema");
+      Nodes[N].Succs = {ContinueTo};
+      return N;
+    }
+    case Stmt::Kind::Return: {
+      uint32_t N = addNode(S->id());
+      Nodes[N].Succs = {CFG::ExitNode};
+      return N;
+    }
+    default: {
+      uint32_t N = addNode(S->id());
+      Nodes[N].Succs = {Next};
+      return N;
+    }
+    }
+  }
+};
+
+} // namespace
+
+CFG CFG::build(const lang::Program &Prog, const lang::Function &F) {
+  (void)Prog;
+  Builder B(nullptr);
+  uint32_t Entry = B.addNode(InvalidId);
+  uint32_t Exit = B.addNode(InvalidId);
+  assert(Entry == EntryNode && Exit == ExitNode);
+  (void)Entry;
+  (void)Exit;
+
+  uint32_t BodyEntry = B.buildBody(F.body(), ExitNode, InvalidId, InvalidId);
+  B.Nodes[EntryNode].Succs = {BodyEntry};
+
+  CFG G;
+  G.Nodes = std::move(B.Nodes);
+  G.StmtToNode = std::move(B.StmtToNode);
+  std::sort(G.StmtToNode.begin(), G.StmtToNode.end());
+
+  for (uint32_t N = 0; N < G.Nodes.size(); ++N)
+    for (uint32_t Succ : G.Nodes[N].Succs)
+      G.Nodes[Succ].Preds.push_back(N);
+  return G;
+}
+
+uint32_t CFG::nodeOf(StmtId Stmt) const {
+  auto It = std::lower_bound(StmtToNode.begin(), StmtToNode.end(),
+                             std::make_pair(Stmt, 0u));
+  if (It == StmtToNode.end() || It->first != Stmt)
+    return InvalidId;
+  return It->second;
+}

@@ -1,0 +1,72 @@
+//===-- analysis/CFG.h - Control-flow graphs ---------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow graphs over Siml statements. Each statement
+/// is one CFG node (if/while nodes are the branch points); two synthetic
+/// nodes represent function entry and exit. The paper's prototype obtained
+/// the same information from diablo on x86 binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_ANALYSIS_CFG_H
+#define EOE_ANALYSIS_CFG_H
+
+#include "lang/AST.h"
+#include "support/Ids.h"
+
+#include <vector>
+
+namespace eoe {
+namespace analysis {
+
+/// A control-flow graph for one function.
+///
+/// Node numbering: node 0 is Entry, node 1 is Exit, statement nodes follow.
+/// Predicate nodes have exactly two successors: Succs[0] is the target when
+/// the condition is true, Succs[1] when it is false.
+class CFG {
+public:
+  static constexpr uint32_t EntryNode = 0;
+  static constexpr uint32_t ExitNode = 1;
+
+  struct Node {
+    /// The statement this node represents; InvalidId for Entry/Exit.
+    StmtId Stmt = InvalidId;
+    std::vector<uint32_t> Succs;
+    std::vector<uint32_t> Preds;
+  };
+
+  /// Builds the CFG of \p F (whose nodes belong to \p Prog).
+  static CFG build(const lang::Program &Prog, const lang::Function &F);
+
+  const std::vector<Node> &nodes() const { return Nodes; }
+  const Node &node(uint32_t Index) const { return Nodes.at(Index); }
+  size_t size() const { return Nodes.size(); }
+
+  /// Returns the node index of \p Stmt; InvalidId if the statement is not
+  /// part of this function.
+  uint32_t nodeOf(StmtId Stmt) const;
+
+  /// True if \p Node branches (it has two successors).
+  bool isBranch(uint32_t Node) const { return Nodes[Node].Succs.size() == 2; }
+
+  /// Returns the successor of branch node \p Node for outcome \p Taken.
+  uint32_t branchTarget(uint32_t Node, bool Taken) const {
+    return Nodes[Node].Succs[Taken ? 0 : 1];
+  }
+
+private:
+  std::vector<Node> Nodes;
+  /// Maps global StmtId to node index (only statements of this function).
+  std::vector<std::pair<StmtId, uint32_t>> StmtToNode;
+};
+
+} // namespace analysis
+} // namespace eoe
+
+#endif // EOE_ANALYSIS_CFG_H

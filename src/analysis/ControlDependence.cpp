@@ -1,0 +1,90 @@
+//===-- analysis/ControlDependence.cpp - Static control dependence ----------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ControlDependence.h"
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace eoe;
+using namespace eoe::analysis;
+
+const std::vector<ControlDependence::Parent> ControlDependence::EmptyParents;
+const std::vector<StmtId> ControlDependence::EmptyKids;
+
+ControlDependence ControlDependence::build(const CFG &G) {
+  uint32_t N = static_cast<uint32_t>(G.size());
+
+  // Post-dominators: dominators of the reversed CFG rooted at Exit.
+  std::vector<std::vector<uint32_t>> Succs(N), Preds(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    Succs[I] = G.node(I).Preds; // reversed
+    Preds[I] = G.node(I).Succs; // reversed
+  }
+  std::vector<uint32_t> IPDom =
+      computeImmediateDominators(CFG::ExitNode, Succs, Preds);
+
+  // Ferrante-Ottenstein-Warren: for every branch edge (A -> B, Label) where
+  // B does not post-dominate A, every node on the post-dominator-tree path
+  // from B up to (exclusive) ipdom(A) is control dependent on (A, Label).
+  std::map<StmtId, PerStmt> Table;
+  for (uint32_t A = 0; A < N; ++A) {
+    if (!G.isBranch(A))
+      continue;
+    StmtId PredStmt = G.node(A).Stmt;
+    assert(isValidId(PredStmt) && "branch node without a statement");
+    for (int LabelIdx = 0; LabelIdx < 2; ++LabelIdx) {
+      bool Label = LabelIdx == 0;
+      uint32_t B = G.branchTarget(A, Label);
+      uint32_t Stop = IPDom[A];
+      for (uint32_t Runner = B; Runner != Stop; Runner = IPDom[Runner]) {
+        assert(Runner != InvalidId && "walked off the post-dominator tree");
+        StmtId RunnerStmt = G.node(Runner).Stmt;
+        if (isValidId(RunnerStmt)) {
+          Table[RunnerStmt].Parents.push_back({PredStmt, Label});
+          if (Label)
+            Table[PredStmt].TrueKids.push_back(RunnerStmt);
+          else
+            Table[PredStmt].FalseKids.push_back(RunnerStmt);
+        }
+        if (Runner == IPDom[Runner])
+          break; // Defensive: avoid looping on a self-idom root.
+      }
+    }
+  }
+
+  ControlDependence CD;
+  for (auto &[Stmt, Info] : Table) {
+    CD.Stmts.push_back(Stmt);
+    CD.Info.push_back(std::move(Info));
+  }
+  return CD;
+}
+
+const ControlDependence::PerStmt *ControlDependence::find(StmtId Stmt) const {
+  auto It = std::lower_bound(Stmts.begin(), Stmts.end(), Stmt);
+  if (It == Stmts.end() || *It != Stmt)
+    return nullptr;
+  return &Info[static_cast<size_t>(It - Stmts.begin())];
+}
+
+const std::vector<ControlDependence::Parent> &
+ControlDependence::parents(StmtId Stmt) const {
+  const PerStmt *P = find(Stmt);
+  return P ? P->Parents : EmptyParents;
+}
+
+const std::vector<StmtId> &ControlDependence::children(StmtId Pred,
+                                                       bool Branch) const {
+  const PerStmt *P = find(Pred);
+  if (!P)
+    return EmptyKids;
+  return Branch ? P->TrueKids : P->FalseKids;
+}

@@ -1,0 +1,78 @@
+//===-- analysis/ControlDependence.h - Static control dependence -*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static control dependence computed per function with the classic
+/// Ferrante-Ottenstein-Warren construction (post-dominance frontiers).
+///
+/// The results drive three consumers:
+///  - the interpreter resolves each statement instance's *dynamic* control
+///    dependence parent as the most recent instance of one of its static
+///    control-dependence parents (which yields the paper's region tree,
+///    Definition 3);
+///  - relevant slicing checks Definition 1(iv) against the statements
+///    guarded by a predicate's not-taken outcome;
+///  - verifyDep's region containment test (paper section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_ANALYSIS_CONTROLDEPENDENCE_H
+#define EOE_ANALYSIS_CONTROLDEPENDENCE_H
+
+#include "analysis/CFG.h"
+#include "support/Ids.h"
+
+#include <vector>
+
+namespace eoe {
+namespace analysis {
+
+/// Control dependences of one function's statements.
+class ControlDependence {
+public:
+  /// One direct control dependence: the dependent statement executes iff
+  /// predicate \c Pred takes outcome \c Branch (subject to outer control).
+  struct Parent {
+    StmtId Pred;
+    bool Branch;
+    bool operator==(const Parent &O) const = default;
+  };
+
+  /// Computes control dependence for \p G using its post-dominator tree.
+  static ControlDependence build(const CFG &G);
+
+  /// Direct control-dependence parents of \p Stmt (usually one; multiple
+  /// in the presence of break/continue/return). Empty when the statement
+  /// is only control dependent on function entry.
+  const std::vector<Parent> &parents(StmtId Stmt) const;
+
+  /// Direct control-dependence children of predicate \p Pred under outcome
+  /// \p Branch, in CFG construction order.
+  const std::vector<StmtId> &children(StmtId Pred, bool Branch) const;
+
+  /// All statements of this function that have control-dependence entries.
+  const std::vector<StmtId> &statements() const { return Stmts; }
+
+private:
+  struct PerStmt {
+    std::vector<Parent> Parents;
+    std::vector<StmtId> TrueKids;
+    std::vector<StmtId> FalseKids;
+  };
+
+  const PerStmt *find(StmtId Stmt) const;
+
+  std::vector<StmtId> Stmts;                  // sorted
+  std::vector<PerStmt> Info;                  // parallel to Stmts
+  static const std::vector<Parent> EmptyParents;
+  static const std::vector<StmtId> EmptyKids;
+};
+
+} // namespace analysis
+} // namespace eoe
+
+#endif // EOE_ANALYSIS_CONTROLDEPENDENCE_H

@@ -1,0 +1,95 @@
+//===-- analysis/Dominators.cpp - Dominator computation ---------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eoe;
+using namespace eoe::analysis;
+
+std::vector<uint32_t> eoe::analysis::computeImmediateDominators(
+    uint32_t Root, const std::vector<std::vector<uint32_t>> &Succs,
+    const std::vector<std::vector<uint32_t>> &Preds) {
+  uint32_t N = static_cast<uint32_t>(Succs.size());
+  assert(Preds.size() == Succs.size() && "inconsistent adjacency");
+
+  // Reverse postorder from Root (iterative DFS with explicit stack).
+  std::vector<uint32_t> PostOrder;
+  PostOrder.reserve(N);
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.push_back({Root, 0});
+  State[Root] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Node].size()) {
+      uint32_t S = Succs[Node][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[Node] = 2;
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+
+  std::vector<uint32_t> RpoNumber(N, InvalidId);
+  for (size_t I = 0; I < PostOrder.size(); ++I)
+    RpoNumber[PostOrder[I]] =
+        static_cast<uint32_t>(PostOrder.size() - 1 - I);
+
+  std::vector<uint32_t> IDom(N, InvalidId);
+  IDom[Root] = Root;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = IDom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Process in reverse postorder (PostOrder backwards), skipping Root.
+    for (auto It = PostOrder.rbegin(); It != PostOrder.rend(); ++It) {
+      uint32_t Node = *It;
+      if (Node == Root)
+        continue;
+      uint32_t NewIDom = InvalidId;
+      for (uint32_t P : Preds[Node]) {
+        if (IDom[P] == InvalidId)
+          continue; // Not yet processed or unreachable.
+        NewIDom = (NewIDom == InvalidId) ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != InvalidId && IDom[Node] != NewIDom) {
+        IDom[Node] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  return IDom;
+}
+
+bool eoe::analysis::dominates(const std::vector<uint32_t> &IDom, uint32_t A,
+                              uint32_t B, uint32_t Root) {
+  // Walk B's dominator chain up to the root.
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == Root || IDom[B] == InvalidId)
+      return false;
+    B = IDom[B];
+  }
+}

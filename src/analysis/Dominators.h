@@ -1,0 +1,46 @@
+//===-- analysis/Dominators.h - Dominator computation ------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate-dominator computation (Cooper-Harvey-Kennedy iterative
+/// algorithm) over an explicit adjacency representation. Post-dominators
+/// are obtained by running it on the reversed CFG with Exit as the root.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_ANALYSIS_DOMINATORS_H
+#define EOE_ANALYSIS_DOMINATORS_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace eoe {
+namespace analysis {
+
+/// Computes immediate dominators of a flow graph.
+///
+/// \param Root the graph's entry node.
+/// \param Succs per-node successor lists (forward edges of the graph being
+///        dominated -- pass reversed edges to get post-dominators).
+/// \param Preds per-node predecessor lists (must be consistent with Succs).
+/// \returns IDom[N] for every node; Root maps to itself and nodes
+///          unreachable from Root map to InvalidId.
+std::vector<uint32_t>
+computeImmediateDominators(uint32_t Root,
+                           const std::vector<std::vector<uint32_t>> &Succs,
+                           const std::vector<std::vector<uint32_t>> &Preds);
+
+/// Returns true if \p A dominates \p B (reflexively) under \p IDom.
+bool dominates(const std::vector<uint32_t> &IDom, uint32_t A, uint32_t B,
+               uint32_t Root);
+
+} // namespace analysis
+} // namespace eoe
+
+#endif // EOE_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,79 @@
+//===-- core/DebugSession.cpp - End-to-end debugging facade -------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DebugSession.h"
+
+#include <cassert>
+
+using namespace eoe;
+using namespace eoe::core;
+using namespace eoe::interp;
+using namespace eoe::slicing;
+
+DebugSession::DebugSession(const lang::Program &Prog,
+                           std::vector<int64_t> FailingInputIn,
+                           std::vector<int64_t> ExpectedOutputsIn,
+                           std::vector<std::vector<int64_t>> TestSuite,
+                           Config CIn)
+    : Prog(Prog), FailingInput(std::move(FailingInputIn)),
+      ExpectedOutputs(std::move(ExpectedOutputsIn)), C(CIn), SA(Prog),
+      Interp(Prog, SA), Prof(Prog.statements().size()) {
+  Prof = profileTestSuite(Interp, Prog, TestSuite, C.MaxSteps);
+
+  Interpreter::Options Opts;
+  Opts.MaxSteps = C.MaxSteps;
+  Trace = Interp.run(FailingInput, Opts);
+  Verdicts = diffOutputs(Trace, ExpectedOutputs);
+  if (!Verdicts)
+    return;
+
+  Graph = std::make_unique<ddg::DepGraph>(Trace);
+  PD = std::make_unique<PotentialDepAnalyzer>(
+      SA, Trace, C.PDBackend,
+      C.PDBackend == PotentialDepAnalyzer::Backend::UnionGraph
+          ? &Prof.UnionDeps
+          : nullptr);
+  ImplicitDepVerifier::Config VC;
+  VC.MaxSteps = C.Locate.MaxSteps;
+  VC.UsePathCheck = C.Locate.UsePathCheck;
+  Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,
+                                                   FailingInput, *Verdicts, VC);
+}
+
+SliceResult DebugSession::dynamicSlice() const {
+  assert(hasFailure() && "no failure to slice");
+  // DS deliberately ignores implicit edges even if locate() added some.
+  ddg::DepGraph::ClosureOptions Opts;
+  Opts.Implicit = false;
+  SliceResult R;
+  R.Member = Graph->backwardClosure(
+      {Trace.Outputs.at(Verdicts->WrongOutput).Step}, Opts);
+  R.Stats = Graph->stats(R.Member);
+  return R;
+}
+
+RelevantSliceResult DebugSession::relevantSlice() const {
+  assert(hasFailure() && "no failure to slice");
+  return relevantSliceOfWrongOutput(*Graph, *PD, *Verdicts);
+}
+
+std::vector<TraceIdx> DebugSession::prunedSlice() const {
+  assert(hasFailure() && "no failure to prune");
+  ConfidenceAnalysis CA(Prog, *Graph, &Prof.Values, *Verdicts);
+  return CA.prunedSlice();
+}
+
+LocateReport DebugSession::locate(Oracle &O) {
+  assert(hasFailure() && "no failure to locate");
+  return locateFault(Prog, *Graph, *PD, *Verifier, &Prof.Values, *Verdicts, O,
+                     C.Locate);
+}
+
+std::vector<bool> DebugSession::failureChain(StmtId RootCause) const {
+  assert(hasFailure() && "no failure chain without a failure");
+  return failureInducingChain(*Graph, RootCause, *Verdicts);
+}

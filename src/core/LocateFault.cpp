@@ -1,0 +1,221 @@
+//===-- core/LocateFault.cpp - Demand-driven fault location -------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LocateFault.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace eoe;
+using namespace eoe::core;
+using namespace eoe::interp;
+using namespace eoe::slicing;
+
+namespace {
+
+/// True if any instance of the ranked slice belongs to the root cause.
+bool containsRootCause(const std::vector<TraceIdx> &Ranked,
+                       const ExecutionTrace &T, Oracle &O) {
+  for (TraceIdx I : Ranked)
+    if (O.isRootCause(T.step(I).Stmt))
+      return true;
+  return false;
+}
+
+} // namespace
+
+LocateReport eoe::core::locateFault(const lang::Program &Prog,
+                                    ddg::DepGraph &G,
+                                    const PotentialDepAnalyzer &PD,
+                                    ImplicitDepVerifier &Verifier,
+                                    const ValueProfile *Values,
+                                    const OutputVerdicts &V, Oracle &O,
+                                    const LocateConfig &Config) {
+  const ExecutionTrace &T = G.trace();
+  LocateReport Report;
+
+  ConfidenceAnalysis CA(Prog, G, Values, V);
+  PruneState Prune;
+  std::vector<TraceIdx> Ranked = pruneSlicing(CA, O, Prune);
+
+  // Verified-but-uncommitted expansions, keyed by (instance, load).
+  struct VerifiedUse {
+    TraceIdx Use = InvalidId;
+    ExprId Load = InvalidId;
+    std::vector<TraceIdx> Strong;
+    std::vector<TraceIdx> Plain;
+  };
+  std::map<std::pair<TraceIdx, ExprId>, VerifiedUse> Pool;
+  std::set<std::pair<TraceIdx, ExprId>> Committed;
+
+  while (!containsRootCause(Ranked, T, O) &&
+         Report.Iterations < Config.MaxIterations) {
+    // Sweep the pruned slice's uses in rank order, verifying each use's
+    // candidate predicates. Strong implicit dependences override plain
+    // ones (Algorithm 2 lines 10-11); the sweep commits the first use
+    // with strong evidence, or -- when no strong dependence exists
+    // anywhere in the candidate set -- the highest-ranked use with plain
+    // evidence.
+    const VerifiedUse *ToCommit = nullptr;
+    const VerifiedUse *FirstPlain = nullptr;
+    for (TraceIdx I : Ranked) {
+      for (const UseRecord &Use : T.step(I).Uses) {
+        auto Key = std::make_pair(I, Use.LoadExpr);
+        if (Committed.count(Key))
+          continue;
+        auto It = Pool.find(Key);
+        if (It == Pool.end()) {
+          VerifiedUse VU;
+          VU.Use = I;
+          VU.Load = Use.LoadExpr;
+          for (TraceIdx P : PD.compute(I, Use, Config.OnePerPredicate)) {
+            switch (Verifier.verify(P, I, Use.LoadExpr)) {
+            case DepVerdict::StrongImplicit:
+              VU.Strong.push_back(P);
+              break;
+            case DepVerdict::Implicit:
+              VU.Plain.push_back(P);
+              break;
+            case DepVerdict::NotImplicit:
+              break;
+            }
+          }
+          It = Pool.emplace(Key, std::move(VU)).first;
+        }
+        const VerifiedUse &VU = It->second;
+        if (!VU.Strong.empty()) {
+          ToCommit = &VU;
+          break;
+        }
+        if (!FirstPlain && !VU.Plain.empty())
+          FirstPlain = &VU;
+      }
+      if (ToCommit)
+        break;
+    }
+    if (!ToCommit)
+      ToCommit = FirstPlain;
+    if (!ToCommit)
+      break; // No verifiable dependence left: the procedure failed.
+
+    ++Report.Iterations;
+    Committed.insert({ToCommit->Use, ToCommit->Load});
+    bool UseStrong = !ToCommit->Strong.empty();
+    const std::vector<TraceIdx> &Winners =
+        UseStrong ? ToCommit->Strong : ToCommit->Plain;
+
+    // Add the verified edges. The fanout of Algorithm 2 lines 12-18
+    // additionally verifies p -> t for other potential dependents t of
+    // each winning predicate; per Figure 5 its purpose is to let
+    // *verified-correct* dependents sanitize p during re-pruning, so only
+    // those targets are considered.
+    for (TraceIdx P : Winners) {
+      G.addImplicitEdge(ToCommit->Use, P, UseStrong);
+      ++Report.ExpandedEdges;
+      if (UseStrong)
+        ++Report.StrongEdges;
+      if (!Config.VerifyFanout)
+        continue;
+      const std::vector<bool> &Slice = CA.wrongOutputSlice();
+      for (TraceIdx TInst = 0; TInst < T.size(); ++TInst) {
+        if (TInst == ToCommit->Use || !Slice[TInst] ||
+            !CA.inferredCorrect(TInst))
+          continue;
+        for (const UseRecord &Use : T.step(TInst).Uses) {
+          if (!PD.isPotentialDep(P, TInst, Use))
+            continue;
+          DepVerdict Verdict = Verifier.verify(P, TInst, Use.LoadExpr);
+          bool Matches = UseStrong ? Verdict == DepVerdict::StrongImplicit
+                                   : Verdict == DepVerdict::Implicit;
+          if (Matches) {
+            G.addImplicitEdge(TInst, P, UseStrong);
+            ++Report.ExpandedEdges;
+            if (UseStrong)
+              ++Report.StrongEdges;
+          }
+        }
+      }
+    }
+
+    // Re-prune with the expanded graph (Algorithm 2 line 19).
+    Ranked = pruneSlicing(CA, O, Prune);
+  }
+
+  Report.RootCauseFound = containsRootCause(Ranked, T, O);
+  Report.UserPrunings = Prune.UserPrunings;
+  Report.Verifications = Verifier.verificationCount();
+  Report.Reexecutions = Verifier.reexecutionCount();
+  Report.FinalPrunedSlice = Ranked;
+  std::vector<bool> Member(T.size(), false);
+  for (TraceIdx I : Ranked)
+    Member[I] = true;
+  Report.IPSStats = G.stats(Member);
+  return Report;
+}
+
+std::vector<bool>
+eoe::core::failureInducingChain(const ddg::DepGraph &G, StmtId RootCause,
+                                const OutputVerdicts &V) {
+  const ExecutionTrace &T = G.trace();
+
+  // The paper's OS is the failure-inducing dependence *chain* -- a thin
+  // path from the root cause to the failure, identified manually. We
+  // reconstruct it as a shortest backward dependence path from the wrong
+  // output to an instance of the root cause over the expanded graph
+  // (data, control, and verified implicit edges).
+  std::vector<TraceIdx> Parent(T.size(), InvalidId);
+  std::vector<bool> Seen(T.size(), false);
+  std::deque<TraceIdx> Work;
+  TraceIdx Start = T.Outputs.at(V.WrongOutput).Step;
+  Seen[Start] = true;
+  Work.push_back(Start);
+  TraceIdx Hit = InvalidId;
+
+  auto Visit = [&](TraceIdx From, TraceIdx To) {
+    if (To == InvalidId || Seen[To])
+      return;
+    Seen[To] = true;
+    Parent[To] = From;
+    Work.push_back(To);
+  };
+
+  while (!Work.empty() && Hit == InvalidId) {
+    TraceIdx I = Work.front();
+    Work.pop_front();
+    if (T.step(I).Stmt == RootCause) {
+      Hit = I;
+      break;
+    }
+    const StepRecord &Step = T.step(I);
+    for (const UseRecord &Use : Step.Uses)
+      Visit(I, Use.Def);
+    Visit(I, Step.CdParent);
+    for (const ddg::DepGraph::ImplicitEdge &E : G.implicitEdges())
+      if (E.Use == I)
+        Visit(I, E.Pred);
+  }
+
+  std::vector<bool> Chain(T.size(), false);
+  if (Hit == InvalidId) {
+    // No dependence path (e.g. before locate() has added the implicit
+    // edges): fall back to the forward/backward intersection.
+    ddg::DepGraph::ClosureOptions All;
+    std::vector<TraceIdx> Roots;
+    for (TraceIdx I = 0; I < T.size(); ++I)
+      if (T.step(I).Stmt == RootCause)
+        Roots.push_back(I);
+    std::vector<bool> Forward = G.forwardClosure(Roots, All);
+    std::vector<bool> Backward = G.backwardClosure({Start}, All);
+    for (TraceIdx I = 0; I < T.size(); ++I)
+      Chain[I] = Forward[I] && Backward[I];
+    return Chain;
+  }
+  for (TraceIdx I = Hit; I != InvalidId; I = Parent[I])
+    Chain[I] = true;
+  return Chain;
+}

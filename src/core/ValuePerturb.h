@@ -1,0 +1,76 @@
+//===-- core/ValuePerturb.h - Value-perturbation verification ----*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension the paper's section 5 proposes for its documented
+/// unsoundness: when nested predicates test the same faulty definition,
+/// switching one branch outcome at a time cannot expose the implicit
+/// dependence (Table 5(b)), but *perturbing the definition's value*
+/// can -- at the cost of exploring an integer domain instead of a binary
+/// one. This verifier re-executes with candidate values substituted at a
+/// definition instance and applies the same alignment machinery to
+/// decide whether a later use (or the wrong output) is affected.
+///
+/// Candidate values typically come from the statement's value profile;
+/// the paper notes the expense, which the reexecution counter surfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_CORE_VALUEPERTURB_H
+#define EOE_CORE_VALUEPERTURB_H
+
+#include "interp/Interpreter.h"
+#include "slicing/OutputVerdicts.h"
+
+#include <vector>
+
+namespace eoe {
+namespace core {
+
+/// Verifies definition-to-use implicit dependences by value perturbation.
+class ValuePerturbVerifier {
+public:
+  struct Config {
+    uint64_t MaxSteps = 2'000'000;
+  };
+
+  struct Result {
+    /// True if some candidate value observably changed the use.
+    bool DependenceExposed = false;
+    /// True if some candidate value produced the expected value at the
+    /// wrong output's matching point (the "strong" analogue).
+    bool OutputCorrected = false;
+    /// The first candidate value that exposed the dependence.
+    int64_t WitnessValue = 0;
+    /// Re-executions performed (the paper's cost argument).
+    size_t Reexecutions = 0;
+  };
+
+  /// \p E must be the unperturbed trace of running \p Input.
+  ValuePerturbVerifier(const interp::Interpreter &Interp,
+                       const interp::ExecutionTrace &E,
+                       std::vector<int64_t> Input,
+                       const slicing::OutputVerdicts &V, Config C);
+
+  /// Tests whether the use at (\p UseInst, \p UseLoad) depends on the
+  /// definition instance \p DefInst, trying each of \p CandidateValues
+  /// in turn and stopping at the first witness.
+  Result verify(TraceIdx DefInst, TraceIdx UseInst, ExprId UseLoad,
+                const std::vector<int64_t> &CandidateValues) const;
+
+private:
+  const interp::Interpreter &Interp;
+  const interp::ExecutionTrace &E;
+  std::vector<int64_t> Input;
+  const slicing::OutputVerdicts &V;
+  Config C;
+};
+
+} // namespace core
+} // namespace eoe
+
+#endif // EOE_CORE_VALUEPERTURB_H

@@ -1,0 +1,168 @@
+//===-- core/VerifyDep.cpp - Implicit dependence verification -----------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VerifyDep.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace eoe;
+using namespace eoe::core;
+using namespace eoe::interp;
+
+const char *eoe::core::depVerdictName(DepVerdict V) {
+  switch (V) {
+  case DepVerdict::StrongImplicit:
+    return "STRONG_ID";
+  case DepVerdict::Implicit:
+    return "ID";
+  case DepVerdict::NotImplicit:
+    return "NOT_ID";
+  }
+  return "?";
+}
+
+ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
+                                         const ExecutionTrace &E,
+                                         std::vector<int64_t> Input,
+                                         const slicing::OutputVerdicts &V,
+                                         Config C)
+    : Interp(Interp), E(E), Input(std::move(Input)), V(V), C(C) {}
+
+const ImplicitDepVerifier::SwitchedRun &
+ImplicitDepVerifier::switchedRunFor(TraceIdx PredInst) {
+  auto It = Runs.find(PredInst);
+  if (It != Runs.end())
+    return *It->second;
+
+  const StepRecord &P = E.step(PredInst);
+  assert(P.isPredicateInstance() && "can only switch predicates");
+  SwitchSpec Spec{P.Stmt, P.InstanceNo};
+
+  auto Run = std::make_unique<SwitchedRun>();
+  Run->Trace = Interp.runSwitched(Input, Spec, C.MaxSteps);
+  ++Reexecutions;
+  Run->Aligner = std::make_unique<align::ExecutionAligner>(E, Run->Trace);
+  return *Runs.emplace(PredInst, std::move(Run)).first->second;
+}
+
+const ExecutionTrace *
+ImplicitDepVerifier::switchedRun(TraceIdx PredInst) const {
+  auto It = Runs.find(PredInst);
+  return It == Runs.end() ? nullptr : &It->second->Trace;
+}
+
+DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
+                                       ExprId UseLoad) {
+  auto Key = std::make_tuple(PredInst, UseInst, UseLoad);
+  auto Cached = VerdictCache.find(Key);
+  if (Cached != VerdictCache.end())
+    return Cached->second;
+  ++Verifications;
+
+  const SwitchedRun &Run = switchedRunFor(PredInst);
+  const ExecutionTrace &EP = Run.Trace;
+  const align::ExecutionAligner &A = *Run.Aligner;
+
+  DepVerdict Verdict = DepVerdict::NotImplicit;
+  do {
+    if (EP.SwitchedStep == InvalidId)
+      break; // Defensive: the switch was never reached.
+
+    // The paper's timer policy: a switched run that exhausts its budget
+    // (or crashes) "aggressively concludes the verification fails and
+    // thus there is no dependence". Without this, a truncated trace
+    // would read as a disappeared use and over-report dependences.
+    if (EP.Exit != ExitReason::Finished)
+      break;
+
+    // Lines 27-28: if the switched run produces the expected value at the
+    // point matching the wrong output, the dependence is strong. (The
+    // pseudocode returns STRONG_ID on the output evidence alone; we
+    // follow it, noting it subsumes Definition 4's condition (ii).)
+    const OutputEvent &Wrong = E.Outputs.at(V.WrongOutput);
+    align::AlignResult OMatch = A.match(Wrong.Step);
+    if (OMatch.found()) {
+      for (const OutputEvent &EPrimeEvent : EP.Outputs) {
+        if (EPrimeEvent.Step != OMatch.Matched ||
+            EPrimeEvent.ArgNo != Wrong.ArgNo)
+          continue;
+        if (EPrimeEvent.Value == V.ExpectedValue)
+          Verdict = DepVerdict::StrongImplicit;
+        break;
+      }
+      if (Verdict == DepVerdict::StrongImplicit)
+        break;
+    }
+
+    // Lines 29-30: u disappears when the predicate is switched => the
+    // switch affected u (Definition 2 condition (i)).
+    align::AlignResult UMatch = A.match(UseInst);
+    if (!UMatch.found()) {
+      Verdict = DepVerdict::Implicit;
+      break;
+    }
+
+    // Lines 31-35: u's match exists; the dependence holds iff the value
+    // it reads now comes from inside the switched predicate's region
+    // (the edge-based check).
+    const UseRecord *MatchedUse = nullptr;
+    for (const UseRecord &Use : EP.step(UMatch.Matched).Uses) {
+      if (Use.LoadExpr == UseLoad) {
+        MatchedUse = &Use;
+        break;
+      }
+    }
+    if (!MatchedUse) {
+      // The load itself vanished (e.g. short-circuit took another path):
+      // the switch visibly altered u's evaluation.
+      Verdict = DepVerdict::Implicit;
+      break;
+    }
+    if (C.UsePathCheck) {
+      // Definition 2(ii) verbatim: an explicit dependence path between
+      // p' and u' in the switched run.
+      SwitchedRun &MutRun = *Runs.find(PredInst)->second;
+      if (!MutRun.ReachableBuilt) {
+        // Forward flood over data and control edges from the switched
+        // instance. Edges can point forward in index space (call/return),
+        // so iterate a worklist over a prebuilt dependents index.
+        std::vector<std::vector<TraceIdx>> Dependents(EP.size());
+        for (TraceIdx I = 0; I < EP.size(); ++I) {
+          for (const UseRecord &U : EP.step(I).Uses)
+            if (U.Def != InvalidId)
+              Dependents[U.Def].push_back(I);
+          if (EP.step(I).CdParent != InvalidId)
+            Dependents[EP.step(I).CdParent].push_back(I);
+        }
+        MutRun.ReachableFromSwitch.assign(EP.size(), false);
+        std::deque<TraceIdx> Flood{EP.SwitchedStep};
+        MutRun.ReachableFromSwitch[EP.SwitchedStep] = true;
+        while (!Flood.empty()) {
+          TraceIdx I = Flood.front();
+          Flood.pop_front();
+          for (TraceIdx D : Dependents[I]) {
+            if (!MutRun.ReachableFromSwitch[D]) {
+              MutRun.ReachableFromSwitch[D] = true;
+              Flood.push_back(D);
+            }
+          }
+        }
+        MutRun.ReachableBuilt = true;
+      }
+      if (MutRun.ReachableFromSwitch[UMatch.Matched])
+        Verdict = DepVerdict::Implicit;
+      break;
+    }
+    if (MatchedUse->Def != InvalidId &&
+        A.switchedTree().inRegion(MatchedUse->Def, EP.SwitchedStep))
+      Verdict = DepVerdict::Implicit;
+  } while (false);
+
+  VerdictCache.emplace(Key, Verdict);
+  return Verdict;
+}

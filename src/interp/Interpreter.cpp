@@ -1,0 +1,551 @@
+//===-- interp/Interpreter.cpp - Tracing interpreter -------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+using namespace eoe;
+using namespace eoe::interp;
+using namespace eoe::lang;
+
+namespace {
+
+/// Two's-complement wrapping arithmetic: Siml semantics define + - * to
+/// wrap (like hardware), avoiding undefined behaviour in the host.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+
+/// Statement-level control flow outcome.
+enum class Flow { Normal, Break, Continue, Return, Halt };
+
+/// One activation record.
+struct Frame {
+  uint64_t Serial = 0;
+  const Function *Func = nullptr;
+  std::vector<int64_t> Mem;
+  std::vector<TraceIdx> LastDef;
+  int64_t RetVal = 0;
+  TraceIdx RetValDef = InvalidId;
+  /// The instance of the calling statement; InvalidId for main.
+  TraceIdx CallSite = InvalidId;
+  /// Most recent instance of each predicate executed in this invocation,
+  /// used to resolve dynamic control-dependence parents.
+  std::unordered_map<StmtId, TraceIdx> LastPredInstance;
+};
+
+/// The mutable interpretation engine for a single run.
+class Engine {
+public:
+  Engine(const Program &Prog, const analysis::StaticAnalysis &SA,
+         const std::vector<int64_t> &Input, const Interpreter::Options &Opts)
+      : Prog(Prog), SA(SA), Input(Input), Opts(Opts), Tracing(Opts.Trace) {
+    InstCount.assign(Prog.statements().size(), 0);
+  }
+
+  ExecutionTrace run() {
+    initGlobals();
+    if (Trace.Exit == ExitReason::Finished) {
+      Frame Main = makeFrame(*Prog.function(Prog.mainFunction()), InvalidId);
+      Flow F = execBody(Prog.function(Prog.mainFunction())->body(), Main);
+      if (F == Flow::Return || F == Flow::Normal)
+        Trace.ExitValue = Main.RetVal;
+    }
+    return std::move(Trace);
+  }
+
+private:
+  const Program &Prog;
+  const analysis::StaticAnalysis &SA;
+  const std::vector<int64_t> &Input;
+  const Interpreter::Options &Opts;
+
+  ExecutionTrace Trace;
+  std::vector<int64_t> GlobalMem;
+  std::vector<TraceIdx> GlobalLastDef;
+  std::vector<uint32_t> InstCount;
+  size_t InputCursor = 0;
+  uint64_t FrameCounter = 0;
+  uint64_t StepCount = 0;
+  bool Halted = false;
+  bool Tracing;
+
+  //===--------------------------------------------------------------------===//
+  // Trace recording helpers
+  //===--------------------------------------------------------------------===//
+
+  /// Starts a StepRecord for one execution of \p S in \p F, resolving the
+  /// dynamic control-dependence parent. Returns the record's index, or
+  /// InvalidId in non-tracing runs (which only count steps).
+  TraceIdx beginStep(const Stmt *S, Frame &F) {
+    ++InstCount[S->id()];
+    if (++StepCount > Opts.MaxSteps)
+      halt(ExitReason::StepLimit);
+    if (!Tracing)
+      return InvalidId;
+    StepRecord Rec;
+    Rec.Stmt = S->id();
+    Rec.InstanceNo = InstCount[S->id()];
+    Rec.CdParent = resolveCdParent(S->id(), F);
+    Trace.Steps.push_back(std::move(Rec));
+    TraceIdx Idx = static_cast<TraceIdx>(Trace.Steps.size() - 1);
+    if (S->isPredicate())
+      F.LastPredInstance[S->id()] = Idx;
+    return Idx;
+  }
+
+  TraceIdx resolveCdParent(StmtId S, const Frame &F) const {
+    TraceIdx Best = InvalidId;
+    for (const auto &Parent : SA.cdParents(S)) {
+      auto It = F.LastPredInstance.find(Parent.Pred);
+      if (It == F.LastPredInstance.end())
+        continue;
+      if (Best == InvalidId || It->second > Best)
+        Best = It->second;
+    }
+    return Best != InvalidId ? Best : F.CallSite;
+  }
+
+  /// Applies an active value perturbation at this definition instance.
+  int64_t maybePerturb(StmtId Sid, TraceIdx Rec, int64_t Value) {
+    if (Opts.Perturb && Opts.Perturb->Stmt == Sid &&
+        Opts.Perturb->InstanceNo == InstCount[Sid]) {
+      Trace.SwitchedStep = Rec;
+      return Opts.Perturb->Value;
+    }
+    return Value;
+  }
+
+  void halt(ExitReason Reason) {
+    if (!Halted) {
+      Halted = true;
+      Trace.Exit = Reason;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  void initGlobals() {
+    GlobalMem.assign(Prog.globalSlots(), 0);
+    GlobalLastDef.assign(Prog.globalSlots(), InvalidId);
+    for (VarDeclStmt *G : Prog.globals()) {
+      const VarInfo &Info = Prog.variable(G->var());
+      TraceIdx Idx = InvalidId;
+      ++InstCount[G->id()];
+      if (Tracing) {
+        StepRecord Rec;
+        Rec.Stmt = G->id();
+        Rec.InstanceNo = InstCount[G->id()];
+        Trace.Steps.push_back(std::move(Rec));
+        Idx = static_cast<TraceIdx>(Trace.Steps.size() - 1);
+      }
+      if (Info.isArray())
+        continue; // Array elements start as undefined zeros.
+      int64_t Init = 0;
+      if (G->init()) {
+        [[maybe_unused]] bool IsConst = evaluateConstant(G->init(), Init);
+        assert(IsConst && "non-constant global initializer survived Sema");
+      }
+      store(MemLoc::global(Info.Slot), G->var(), Init, Idx);
+    }
+  }
+
+  /// Writes \p Value to \p Loc on behalf of instance \p Writer and records
+  /// the definition (tracing runs only).
+  void store(MemLoc Loc, VarId Var, int64_t Value, TraceIdx Writer) {
+    if (Loc.isGlobal()) {
+      GlobalMem[Loc.slot()] = Value;
+      if (Tracing)
+        GlobalLastDef[Loc.slot()] = Writer;
+    }
+    if (Writer != InvalidId)
+      Trace.Steps[Writer].Defs.push_back({Loc, Var, Value});
+  }
+
+  void storeFrame(Frame &F, uint32_t Slot, VarId Var, int64_t Value,
+                  TraceIdx Writer) {
+    F.Mem[Slot] = Value;
+    if (Tracing)
+      F.LastDef[Slot] = Writer;
+    if (Writer != InvalidId)
+      Trace.Steps[Writer].Defs.push_back(
+          {MemLoc::frame(F.Serial, Slot), Var, Value});
+  }
+
+  /// Reads a location, recording the use on instance \p Reader.
+  int64_t load(Frame &F, const VarInfo &Info, uint32_t SlotOffset, VarId Var,
+               ExprId LoadExpr, TraceIdx Reader) {
+    int64_t Value;
+    MemLoc Loc;
+    TraceIdx Def;
+    if (Info.isGlobal()) {
+      uint32_t Slot = Info.Slot + SlotOffset;
+      Loc = MemLoc::global(Slot);
+      Value = GlobalMem[Slot];
+      Def = Tracing ? GlobalLastDef[Slot] : InvalidId;
+    } else {
+      uint32_t Slot = Info.Slot + SlotOffset;
+      Loc = MemLoc::frame(F.Serial, Slot);
+      Value = F.Mem[Slot];
+      Def = Tracing ? F.LastDef[Slot] : InvalidId;
+    }
+    if (Reader != InvalidId)
+      Trace.Steps[Reader].Uses.push_back({Loc, Def, LoadExpr, Var, Value});
+    return Value;
+  }
+
+  Frame makeFrame(const Function &Func, TraceIdx CallSite) {
+    Frame F;
+    F.Serial = ++FrameCounter;
+    F.Func = &Func;
+    F.Mem.assign(Func.frameSlots(), 0);
+    F.LastDef.assign(Func.frameSlots(), InvalidId);
+    F.CallSite = CallSite;
+    return F;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression evaluation
+  //===--------------------------------------------------------------------===//
+
+  int64_t evalExpr(const Expr *E, Frame &F, TraceIdx Rec) {
+    if (Halted)
+      return 0;
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return cast<IntLitExpr>(E)->value();
+    case Expr::Kind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(E);
+      const VarInfo &Info = Prog.variable(Ref->var());
+      return load(F, Info, 0, Ref->var(), Ref->id(), Rec);
+    }
+    case Expr::Kind::ArrayRef: {
+      const auto *Ref = cast<ArrayRefExpr>(E);
+      int64_t Index = evalExpr(Ref->index(), F, Rec);
+      if (Halted)
+        return 0;
+      const VarInfo &Info = Prog.variable(Ref->var());
+      if (Index < 0 || Index >= Info.ArraySize) {
+        halt(ExitReason::RuntimeError);
+        return 0;
+      }
+      return load(F, Info, static_cast<uint32_t>(Index), Ref->var(), Ref->id(),
+                  Rec);
+    }
+    case Expr::Kind::Input: {
+      if (InputCursor < Input.size())
+        return Input[InputCursor++];
+      return -1;
+    }
+    case Expr::Kind::Call:
+      return evalCall(cast<CallExpr>(E), F, Rec);
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      int64_t Sub = evalExpr(U->sub(), F, Rec);
+      switch (U->op()) {
+      case UnaryOp::Neg:
+        return wrapNeg(Sub);
+      case UnaryOp::Not:
+        return Sub == 0 ? 1 : 0;
+      }
+      return 0;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      // Short-circuit evaluation for && and ||.
+      if (B->op() == BinaryOp::And) {
+        int64_t L = evalExpr(B->lhs(), F, Rec);
+        if (Halted || L == 0)
+          return 0;
+        return evalExpr(B->rhs(), F, Rec) != 0 ? 1 : 0;
+      }
+      if (B->op() == BinaryOp::Or) {
+        int64_t L = evalExpr(B->lhs(), F, Rec);
+        if (Halted)
+          return 0;
+        if (L != 0)
+          return 1;
+        return evalExpr(B->rhs(), F, Rec) != 0 ? 1 : 0;
+      }
+      int64_t L = evalExpr(B->lhs(), F, Rec);
+      int64_t R = evalExpr(B->rhs(), F, Rec);
+      if (Halted)
+        return 0;
+      switch (B->op()) {
+      case BinaryOp::Add:
+        return wrapAdd(L, R);
+      case BinaryOp::Sub:
+        return wrapSub(L, R);
+      case BinaryOp::Mul:
+        return wrapMul(L, R);
+      case BinaryOp::Div:
+        if (R == 0 || (L == INT64_MIN && R == -1)) {
+          halt(ExitReason::RuntimeError);
+          return 0;
+        }
+        return L / R;
+      case BinaryOp::Mod:
+        if (R == 0 || (L == INT64_MIN && R == -1)) {
+          halt(ExitReason::RuntimeError);
+          return 0;
+        }
+        return L % R;
+      case BinaryOp::Eq:
+        return L == R;
+      case BinaryOp::Ne:
+        return L != R;
+      case BinaryOp::Lt:
+        return L < R;
+      case BinaryOp::Le:
+        return L <= R;
+      case BinaryOp::Gt:
+        return L > R;
+      case BinaryOp::Ge:
+        return L >= R;
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        break; // Handled above.
+      }
+      return 0;
+    }
+    }
+    return 0;
+  }
+
+  int64_t evalCall(const CallExpr *Call, Frame &F, TraceIdx Rec) {
+    const Function &Callee = *Prog.function(Call->callee());
+    std::vector<int64_t> ArgValues;
+    ArgValues.reserve(Call->args().size());
+    for (const Expr *Arg : Call->args())
+      ArgValues.push_back(evalExpr(Arg, F, Rec));
+    if (Halted)
+      return 0;
+
+    Frame Inner = makeFrame(Callee, Rec);
+    // Parameter passing: the call-site instance defines the parameter
+    // slots of the fresh frame, so the callee's parameter reads data-
+    // depend on the argument computation.
+    for (size_t I = 0; I < Callee.params().size(); ++I) {
+      VarId Param = Callee.params()[I];
+      const VarInfo &Info = Prog.variable(Param);
+      storeFrame(Inner, Info.Slot, Param, ArgValues[I], Rec);
+    }
+
+    execBody(Callee.body(), Inner);
+    if (Halted)
+      return 0;
+
+    // The return-value read: data-depends on the executed return.
+    if (Rec != InvalidId)
+      Trace.Steps[Rec].Uses.push_back({MemLoc::retVal(Inner.Serial),
+                                       Inner.RetValDef, Call->id(),
+                                       /*Var=*/InvalidId, Inner.RetVal});
+    return Inner.RetVal;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement execution
+  //===--------------------------------------------------------------------===//
+
+  Flow execBody(const std::vector<Stmt *> &Body, Frame &F) {
+    for (Stmt *S : Body) {
+      Flow Result = execStmt(S, F);
+      if (Result != Flow::Normal)
+        return Result;
+    }
+    return Flow::Normal;
+  }
+
+  /// Evaluates the condition of predicate instance \p Rec, applying the
+  /// requested switch when this is the targeted instance.
+  bool evalPredicate(const Expr *Cond, Frame &F, TraceIdx Rec, StmtId Sid) {
+    bool Taken = evalExpr(Cond, F, Rec) != 0;
+    if (Opts.Switch && Opts.Switch->Pred == Sid &&
+        Opts.Switch->InstanceNo == InstCount[Sid]) {
+      Taken = !Taken;
+      Trace.SwitchedStep = Rec;
+    }
+    if (Rec != InvalidId) {
+      StepRecord &Step = Trace.Steps[Rec];
+      Step.BranchTaken = Taken ? 1 : 0;
+      Step.Value = Taken;
+    }
+    return Taken;
+  }
+
+  Flow execStmt(Stmt *S, Frame &F) {
+    if (Halted)
+      return Flow::Halt;
+    switch (S->kind()) {
+    case Stmt::Kind::VarDecl: {
+      const auto *Decl = cast<VarDeclStmt>(S);
+      TraceIdx Rec = beginStep(S, F);
+      const VarInfo &Info = Prog.variable(Decl->var());
+      if (Info.isArray())
+        return Halted ? Flow::Halt : Flow::Normal;
+      int64_t Value = Decl->init() ? evalExpr(Decl->init(), F, Rec) : 0;
+      if (Halted)
+        return Flow::Halt;
+      Value = maybePerturb(S->id(), Rec, Value);
+      if (Rec != InvalidId)
+        Trace.Steps[Rec].Value = Value;
+      if (Info.isGlobal())
+        store(MemLoc::global(Info.Slot), Decl->var(), Value, Rec);
+      else
+        storeFrame(F, Info.Slot, Decl->var(), Value, Rec);
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      TraceIdx Rec = beginStep(S, F);
+      int64_t Value = evalExpr(A->value(), F, Rec);
+      if (Halted)
+        return Flow::Halt;
+      Value = maybePerturb(S->id(), Rec, Value);
+      if (Rec != InvalidId)
+        Trace.Steps[Rec].Value = Value;
+      const VarInfo &Info = Prog.variable(A->var());
+      if (Info.isGlobal())
+        store(MemLoc::global(Info.Slot), A->var(), Value, Rec);
+      else
+        storeFrame(F, Info.Slot, A->var(), Value, Rec);
+      return Flow::Normal;
+    }
+    case Stmt::Kind::ArrayAssign: {
+      const auto *A = cast<ArrayAssignStmt>(S);
+      TraceIdx Rec = beginStep(S, F);
+      int64_t Index = evalExpr(A->index(), F, Rec);
+      int64_t Value = evalExpr(A->value(), F, Rec);
+      if (Halted)
+        return Flow::Halt;
+      const VarInfo &Info = Prog.variable(A->var());
+      if (Index < 0 || Index >= Info.ArraySize) {
+        halt(ExitReason::RuntimeError);
+        return Flow::Halt;
+      }
+      Value = maybePerturb(S->id(), Rec, Value);
+      if (Rec != InvalidId)
+        Trace.Steps[Rec].Value = Value;
+      uint32_t Slot = Info.Slot + static_cast<uint32_t>(Index);
+      if (Info.isGlobal())
+        store(MemLoc::global(Slot), A->var(), Value, Rec);
+      else
+        storeFrame(F, Slot, A->var(), Value, Rec);
+      return Flow::Normal;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      TraceIdx Rec = beginStep(S, F);
+      bool Taken = evalPredicate(If->cond(), F, Rec, S->id());
+      if (Halted)
+        return Flow::Halt;
+      return execBody(Taken ? If->thenBody() : If->elseBody(), F);
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      while (true) {
+        TraceIdx Rec = beginStep(S, F);
+        bool Taken = evalPredicate(W->cond(), F, Rec, S->id());
+        if (Halted)
+          return Flow::Halt;
+        if (!Taken)
+          return Flow::Normal;
+        Flow Result = execBody(W->body(), F);
+        if (Result == Flow::Break)
+          return Flow::Normal;
+        if (Result == Flow::Return || Result == Flow::Halt)
+          return Result;
+        // Normal and Continue both re-test the condition.
+      }
+    }
+    case Stmt::Kind::Break:
+      beginStep(S, F);
+      return Halted ? Flow::Halt : Flow::Break;
+    case Stmt::Kind::Continue:
+      beginStep(S, F);
+      return Halted ? Flow::Halt : Flow::Continue;
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      TraceIdx Rec = beginStep(S, F);
+      int64_t Value = R->value() ? evalExpr(R->value(), F, Rec) : 0;
+      if (Halted)
+        return Flow::Halt;
+      Value = maybePerturb(S->id(), Rec, Value);
+      F.RetVal = Value;
+      F.RetValDef = Rec;
+      if (Rec != InvalidId) {
+        Trace.Steps[Rec].Value = Value;
+        Trace.Steps[Rec].Defs.push_back(
+            {MemLoc::retVal(F.Serial), /*Var=*/InvalidId, Value});
+      }
+      return Flow::Return;
+    }
+    case Stmt::Kind::Print: {
+      const auto *P = cast<PrintStmt>(S);
+      TraceIdx Rec = beginStep(S, F);
+      for (size_t I = 0; I < P->args().size(); ++I) {
+        int64_t Value = evalExpr(P->args()[I], F, Rec);
+        if (Halted)
+          return Flow::Halt;
+        if (I == 0 && Rec != InvalidId)
+          Trace.Steps[Rec].Value = Value;
+        Trace.Outputs.push_back(
+            {Rec, static_cast<uint32_t>(I), P->args()[I]->id(), Value});
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::CallStmt: {
+      TraceIdx Rec = beginStep(S, F);
+      evalCall(cast<CallStmtNode>(S)->call(), F, Rec);
+      return Halted ? Flow::Halt : Flow::Normal;
+    }
+    }
+    return Flow::Normal;
+  }
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Program &Prog,
+                         const analysis::StaticAnalysis &Analysis)
+    : Prog(Prog), Analysis(Analysis) {
+  assert(isValidId(Prog.mainFunction()) && "program must be Sema-checked");
+}
+
+ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
+                                const Options &Opts) const {
+  Engine E(Prog, Analysis, Input, Opts);
+  return E.run();
+}
+
+ExecutionTrace Interpreter::runSwitched(const std::vector<int64_t> &Input,
+                                        SwitchSpec Spec,
+                                        uint64_t MaxSteps) const {
+  Options Opts;
+  Opts.MaxSteps = MaxSteps;
+  Opts.Switch = Spec;
+  return run(Input, Opts);
+}

@@ -1,0 +1,81 @@
+//===-- interp/Interpreter.h - Tracing interpreter ---------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing interpreter: Siml's execution substrate, standing in for
+/// the paper's valgrind-based online component. One run yields an
+/// ExecutionTrace carrying the full dynamic dependence information, and
+/// optionally applies a predicate switch (the paper section 3's forced
+/// branch outcome) at a chosen predicate instance.
+///
+/// Executions are deterministic functions of (program, input, switch
+/// spec), which is what makes instance numbers stable between an original
+/// and a switched run up to the switch point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_INTERP_INTERPRETER_H
+#define EOE_INTERP_INTERPRETER_H
+
+#include "analysis/StaticAnalysis.h"
+#include "interp/Trace.h"
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace eoe {
+namespace interp {
+
+/// Executes Siml programs with full dependence tracing.
+class Interpreter {
+public:
+  struct Options {
+    /// Statement-instance budget; hitting it ends the run with
+    /// ExitReason::StepLimit. This implements the paper's verification
+    /// timer ("we set a timer which if expires, we aggressively conclude
+    /// the verification fails").
+    uint64_t MaxSteps = 5'000'000;
+    /// Optional predicate switch to apply.
+    std::optional<SwitchSpec> Switch;
+    /// Optional value perturbation to apply (mutually exclusive with
+    /// Switch in practice; both honored if given).
+    std::optional<PerturbSpec> Perturb;
+    /// When false, the program runs without recording steps, uses, or
+    /// definitions (outputs are still collected). This is the "Plain"
+    /// baseline of the paper's Table 4 -- execution without the
+    /// dependence-graph instrumentation.
+    bool Trace = true;
+  };
+
+  /// \p Analysis must have been built for \p Prog.
+  Interpreter(const lang::Program &Prog,
+              const analysis::StaticAnalysis &Analysis);
+
+  /// Runs the program on \p Input and returns the trace.
+  ExecutionTrace run(const std::vector<int64_t> &Input,
+                     const Options &Opts) const;
+
+  /// Runs with default options (no switch, default step budget).
+  ExecutionTrace run(const std::vector<int64_t> &Input) const {
+    return run(Input, Options());
+  }
+
+  /// Convenience: runs with \p Spec switched.
+  ExecutionTrace runSwitched(const std::vector<int64_t> &Input,
+                             SwitchSpec Spec, uint64_t MaxSteps) const;
+
+private:
+  const lang::Program &Prog;
+  const analysis::StaticAnalysis &Analysis;
+};
+
+} // namespace interp
+} // namespace eoe
+
+#endif // EOE_INTERP_INTERPRETER_H

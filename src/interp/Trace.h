@@ -1,0 +1,177 @@
+//===-- interp/Trace.h - Execution traces ------------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution trace produced by the tracing interpreter: one StepRecord
+/// per executed statement instance, carrying the instance's dynamic
+/// control-dependence parent, branch outcome, memory uses (each with the
+/// defining instance -- the dynamic data dependences), and definitions.
+/// The trace *is* the dynamic dependence graph; the ddg library only adds
+/// closure algorithms and implicit edges on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_INTERP_TRACE_H
+#define EOE_INTERP_TRACE_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace eoe {
+namespace interp {
+
+/// An abstract memory location.
+///
+/// Encoding: the upper 40 bits hold the frame serial (0 for global memory),
+/// the lower 24 bits the slot within that frame or the global area. Slot
+/// 0xffffff of a frame is its return-value cell.
+struct MemLoc {
+  uint64_t Raw = 0;
+
+  static constexpr uint64_t SlotBits = 24;
+  static constexpr uint64_t SlotMask = (1ull << SlotBits) - 1;
+  static constexpr uint64_t RetValSlot = SlotMask;
+
+  static MemLoc global(uint32_t Slot) { return {Slot}; }
+  static MemLoc frame(uint64_t Serial, uint32_t Slot) {
+    return {(Serial << SlotBits) | Slot};
+  }
+  static MemLoc retVal(uint64_t Serial) {
+    return {(Serial << SlotBits) | RetValSlot};
+  }
+
+  uint64_t frameSerial() const { return Raw >> SlotBits; }
+  uint32_t slot() const { return static_cast<uint32_t>(Raw & SlotMask); }
+  bool isGlobal() const { return frameSerial() == 0; }
+  bool isRetVal() const { return slot() == RetValSlot; }
+
+  bool operator==(const MemLoc &O) const = default;
+};
+
+/// One memory read performed while executing a statement instance.
+struct UseRecord {
+  /// The concrete location read.
+  MemLoc Loc;
+  /// The instance that wrote the value (dynamic data dependence source);
+  /// InvalidId when the location was never written (reads as 0).
+  TraceIdx Def = InvalidId;
+  /// The AST expression that performed the load (VarRef / ArrayRef node,
+  /// or the CallExpr for a return-value read). Uses are matched across
+  /// executions by this id, so "the same use" is stable even when array
+  /// indices differ (the paper's outbuf[i+1] discussion).
+  ExprId LoadExpr = InvalidId;
+  /// Location class for potential-dependence queries: the variable
+  /// (whole array) read, or InvalidId for return-value reads.
+  VarId Var = InvalidId;
+  /// The value observed by the read.
+  int64_t Value = 0;
+};
+
+/// One memory write performed by a statement instance.
+struct DefRecord {
+  MemLoc Loc;
+  /// Location class written (InvalidId for return-value cells).
+  VarId Var = InvalidId;
+  int64_t Value = 0;
+};
+
+/// One executed statement instance.
+struct StepRecord {
+  StmtId Stmt = InvalidId;
+  /// The instance this one is dynamically control dependent on: the most
+  /// recent instance of one of the statement's static control-dependence
+  /// parents in the same invocation, or the calling statement's instance
+  /// for a function's top-level statements; InvalidId at main's top level.
+  /// The CdParent relation is the paper's region tree (Definition 3).
+  TraceIdx CdParent = InvalidId;
+  /// 1-based occurrence number of this statement in the execution.
+  uint32_t InstanceNo = 0;
+  /// Predicate outcome: -1 for non-predicates, else 0/1.
+  int8_t BranchTaken = -1;
+  /// Value summary: the defined value, branch condition value, or first
+  /// printed value, depending on the statement kind.
+  int64_t Value = 0;
+  std::vector<UseRecord> Uses;
+  std::vector<DefRecord> Defs;
+
+  bool isPredicateInstance() const { return BranchTaken >= 0; }
+  bool branch() const { return BranchTaken == 1; }
+};
+
+/// One value printed by a print statement.
+struct OutputEvent {
+  /// The print instance that emitted the value.
+  TraceIdx Step = InvalidId;
+  /// Zero-based argument position within the print statement.
+  uint32_t ArgNo = 0;
+  /// The argument expression (used to find the matching output in a
+  /// switched execution).
+  ExprId ArgExpr = InvalidId;
+  int64_t Value = 0;
+};
+
+/// How an execution ended.
+enum class ExitReason {
+  /// main returned normally.
+  Finished,
+  /// The step budget ran out -- the paper's verification timeout.
+  StepLimit,
+  /// Out-of-bounds array access or division by zero.
+  RuntimeError
+};
+
+/// A complete traced execution.
+struct ExecutionTrace {
+  std::vector<StepRecord> Steps;
+  std::vector<OutputEvent> Outputs;
+  ExitReason Exit = ExitReason::Finished;
+  /// main's return value when Exit == Finished.
+  int64_t ExitValue = 0;
+  /// The instance where the execution was forcibly altered, if any: the
+  /// switched predicate instance, or the value-perturbed definition
+  /// instance. Everything before this index is byte-identical to the
+  /// unaltered run on the same input -- the invariant the aligner uses.
+  TraceIdx SwitchedStep = InvalidId;
+
+  size_t size() const { return Steps.size(); }
+  const StepRecord &step(TraceIdx I) const { return Steps.at(I); }
+
+  /// Output values in emission order (the observable behaviour).
+  std::vector<int64_t> outputValues() const {
+    std::vector<int64_t> V;
+    V.reserve(Outputs.size());
+    for (const OutputEvent &E : Outputs)
+      V.push_back(E.Value);
+    return V;
+  }
+};
+
+/// Identifies the predicate instance to switch in a re-execution: the
+/// InstanceNo-th evaluation of statement Pred has its outcome negated.
+struct SwitchSpec {
+  StmtId Pred = InvalidId;
+  uint32_t InstanceNo = 0;
+};
+
+/// Identifies a definition instance whose produced value is replaced in
+/// a re-execution: the InstanceNo-th execution of statement Stmt defines
+/// Value instead of what it computed. This realizes the paper's section
+/// 5 proposal of perturbing a value rather than a branch outcome -- the
+/// sound-but-expensive way around the nested-predicate unsoundness.
+struct PerturbSpec {
+  StmtId Stmt = InvalidId;
+  uint32_t InstanceNo = 0;
+  int64_t Value = 0;
+};
+
+} // namespace interp
+} // namespace eoe
+
+#endif // EOE_INTERP_TRACE_H

@@ -1,0 +1,39 @@
+//===-- interp/TraceIO.h - Trace serialization -------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of execution traces, so traces can be collected
+/// once (tracing is the expensive phase, Table 4) and analyzed offline:
+/// sliced, aligned, or diffed without re-running the program. The format
+/// is line-oriented and versioned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_INTERP_TRACEIO_H
+#define EOE_INTERP_TRACEIO_H
+
+#include "interp/Trace.h"
+
+#include <optional>
+#include <string>
+
+namespace eoe {
+namespace interp {
+
+/// Serializes \p Trace into the versioned text format.
+std::string serializeTrace(const ExecutionTrace &Trace);
+
+/// Parses a trace produced by serializeTrace. Returns nullopt on any
+/// syntax or consistency error (bad header, dangling indices, truncated
+/// records); \p Error receives a description when non-null.
+std::optional<ExecutionTrace> deserializeTrace(const std::string &Text,
+                                               std::string *Error = nullptr);
+
+} // namespace interp
+} // namespace eoe
+
+#endif // EOE_INTERP_TRACEIO_H

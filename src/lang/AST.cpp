@@ -1,0 +1,99 @@
+//===-- lang/AST.cpp - Siml abstract syntax trees --------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+using namespace eoe;
+using namespace eoe::lang;
+
+const char *lang::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+const char *lang::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Not:
+    return "!";
+  }
+  return "?";
+}
+
+bool lang::evaluateConstant(const Expr *E, int64_t &Value) {
+  if (const auto *Lit = dyn_cast<IntLitExpr>(E)) {
+    Value = Lit->value();
+    return true;
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (U->op() != UnaryOp::Neg)
+      return false;
+    if (!evaluateConstant(U->sub(), Value))
+      return false;
+    Value = -Value;
+    return true;
+  }
+  return false;
+}
+
+Function *Program::createFunction(SourceLoc Loc, std::string Name,
+                                  std::vector<std::string> ParamNames) {
+  auto Node = std::make_unique<Function>(static_cast<FuncId>(Funcs.size()),
+                                         Loc, std::move(Name),
+                                         std::move(ParamNames));
+  Function *Raw = Node.get();
+  FuncOwner.push_back(std::move(Node));
+  Funcs.push_back(Raw);
+  return Raw;
+}
+
+VarId Program::addVariable(VarInfo Info) {
+  Vars.push_back(std::move(Info));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+FuncId Program::findFunction(const std::string &Name) const {
+  for (const Function *F : Funcs)
+    if (F->name() == Name)
+      return F->id();
+  return InvalidId;
+}
+
+StmtId Program::statementAtLine(uint32_t Line) const {
+  for (const Stmt *S : Stmts)
+    if (S->loc().Line == Line)
+      return S->id();
+  return InvalidId;
+}

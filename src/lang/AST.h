@@ -1,0 +1,573 @@
+//===-- lang/AST.h - Siml abstract syntax trees ------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node classes for Siml, the small C-like imperative language that
+/// serves as this reproduction's execution substrate (the paper used x86
+/// binaries under valgrind; see DESIGN.md section 2).
+///
+/// Siml has a single value type (int64), scalars and fixed-size arrays,
+/// functions with by-value scalar parameters and a single return value,
+/// structured control flow (if/else, while, break, continue, return), a
+/// print statement producing observable output events, and an input()
+/// expression reading the next value of the program input.
+///
+/// Every statement and expression node carries a dense id assigned at
+/// creation by the owning Program; all later analyses (CFG, dependence
+/// graphs, traces) index by these ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_LANG_AST_H
+#define EOE_LANG_AST_H
+
+#include "support/Casting.h"
+#include "support/Diagnostic.h"
+#include "support/Ids.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eoe {
+namespace lang {
+
+class Program;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operators. And/Or short-circuit like C's && and ||.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, Not };
+
+/// Returns the source spelling of \p Op ("+", "==", "&&", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// Returns the source spelling of \p Op ("-", "!").
+const char *unaryOpSpelling(UnaryOp Op);
+
+class Expr;
+
+/// Evaluates \p E as a compile-time constant (an integer literal,
+/// possibly under unary minus chains). Returns false when \p E is not
+/// constant in that sense. Used for global initializers.
+bool evaluateConstant(const Expr *E, int64_t &Value);
+
+/// Base class of all Siml expressions.
+class Expr {
+public:
+  enum class Kind { IntLit, VarRef, ArrayRef, Call, Input, Unary, Binary };
+
+  Kind kind() const { return K; }
+  ExprId id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+
+  // Nodes are owned polymorphically by Program, so the destructor must be
+  // virtual even though the hierarchy is otherwise vtable-free.
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, ExprId Id, SourceLoc Loc) : K(K), Id(Id), Loc(Loc) {}
+
+private:
+  friend class Program;
+  Kind K;
+  ExprId Id;
+  SourceLoc Loc;
+};
+
+/// An integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(ExprId Id, SourceLoc Loc, int64_t Value)
+      : Expr(Kind::IntLit, Id, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A read of a scalar variable.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(ExprId Id, SourceLoc Loc, std::string Name)
+      : Expr(Kind::VarRef, Id, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Resolved variable; InvalidId until Sema runs.
+  VarId var() const { return Var; }
+  void setVar(VarId V) { Var = V; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  VarId Var = InvalidId;
+};
+
+/// A read of an array element, a[index].
+class ArrayRefExpr : public Expr {
+public:
+  ArrayRefExpr(ExprId Id, SourceLoc Loc, std::string Name, Expr *Index)
+      : Expr(Kind::ArrayRef, Id, Loc), Name(std::move(Name)), Index(Index) {}
+
+  const std::string &name() const { return Name; }
+  Expr *index() const { return Index; }
+
+  /// Resolved array variable; InvalidId until Sema runs.
+  VarId var() const { return Var; }
+  void setVar(VarId V) { Var = V; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRef; }
+
+private:
+  std::string Name;
+  Expr *Index;
+  VarId Var = InvalidId;
+};
+
+/// A call used as an expression; yields the callee's return value.
+class CallExpr : public Expr {
+public:
+  CallExpr(ExprId Id, SourceLoc Loc, std::string Callee,
+           std::vector<Expr *> Args)
+      : Expr(Kind::Call, Id, Loc), CalleeName(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &calleeName() const { return CalleeName; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  /// Resolved callee; InvalidId until Sema runs.
+  FuncId callee() const { return Callee; }
+  void setCallee(FuncId F) { Callee = F; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string CalleeName;
+  std::vector<Expr *> Args;
+  FuncId Callee = InvalidId;
+};
+
+/// input(): reads the next value of the program input; -1 at end of input.
+class InputExpr : public Expr {
+public:
+  InputExpr(ExprId Id, SourceLoc Loc) : Expr(Kind::Input, Id, Loc) {}
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Input; }
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(ExprId Id, SourceLoc Loc, UnaryOp Op, Expr *Sub)
+      : Expr(Kind::Unary, Id, Loc), Op(Op), Sub(Sub) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *sub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Sub;
+};
+
+/// A binary operation; And/Or evaluate the RHS only when needed.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(ExprId Id, SourceLoc Loc, BinaryOp Op, Expr *LHS, Expr *RHS)
+      : Expr(Kind::Binary, Id, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all Siml statements. A statement is the unit of tracing,
+/// slicing, and alignment, exactly as in the paper.
+class Stmt {
+public:
+  enum class Kind {
+    VarDecl,
+    Assign,
+    ArrayAssign,
+    If,
+    While,
+    Break,
+    Continue,
+    Return,
+    Print,
+    CallStmt
+  };
+
+  Kind kind() const { return K; }
+  StmtId id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Returns true for statements whose execution evaluates a branch
+  /// condition (if/while) -- the predicates of the paper.
+  bool isPredicate() const { return K == Kind::If || K == Kind::While; }
+
+  // Nodes are owned polymorphically by Program, so the destructor must be
+  // virtual even though the hierarchy is otherwise vtable-free.
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, StmtId Id, SourceLoc Loc) : K(K), Id(Id), Loc(Loc) {}
+
+private:
+  Kind K;
+  StmtId Id;
+  SourceLoc Loc;
+};
+
+/// Declaration of a scalar or array variable, with optional scalar init.
+/// Globals are represented with the same node at program scope.
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(StmtId Id, SourceLoc Loc, std::string Name, int64_t ArraySize,
+              Expr *Init)
+      : Stmt(Kind::VarDecl, Id, Loc), Name(std::move(Name)),
+        ArraySize(ArraySize), Init(Init) {}
+
+  const std::string &name() const { return Name; }
+
+  /// 0 for scalars; the (constant) element count for arrays.
+  int64_t arraySize() const { return ArraySize; }
+  bool isArray() const { return ArraySize != 0; }
+
+  /// Optional initializer (scalars only); null if absent.
+  Expr *init() const { return Init; }
+
+  /// Resolved variable; InvalidId until Sema runs.
+  VarId var() const { return Var; }
+  void setVar(VarId V) { Var = V; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+private:
+  std::string Name;
+  int64_t ArraySize;
+  Expr *Init;
+  VarId Var = InvalidId;
+};
+
+/// Assignment to a scalar variable.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(StmtId Id, SourceLoc Loc, std::string Name, Expr *Value)
+      : Stmt(Kind::Assign, Id, Loc), Name(std::move(Name)), Value(Value) {}
+
+  const std::string &name() const { return Name; }
+  Expr *value() const { return Value; }
+
+  VarId var() const { return Var; }
+  void setVar(VarId V) { Var = V; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  std::string Name;
+  Expr *Value;
+  VarId Var = InvalidId;
+};
+
+/// Assignment to an array element, a[index] = value.
+class ArrayAssignStmt : public Stmt {
+public:
+  ArrayAssignStmt(StmtId Id, SourceLoc Loc, std::string Name, Expr *Index,
+                  Expr *Value)
+      : Stmt(Kind::ArrayAssign, Id, Loc), Name(std::move(Name)), Index(Index),
+        Value(Value) {}
+
+  const std::string &name() const { return Name; }
+  Expr *index() const { return Index; }
+  Expr *value() const { return Value; }
+
+  VarId var() const { return Var; }
+  void setVar(VarId V) { Var = V; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ArrayAssign; }
+
+private:
+  std::string Name;
+  Expr *Index;
+  Expr *Value;
+  VarId Var = InvalidId;
+};
+
+/// if (Cond) { Then } else { Else }. The statement itself is the predicate.
+class IfStmt : public Stmt {
+public:
+  IfStmt(StmtId Id, SourceLoc Loc, Expr *Cond, std::vector<Stmt *> Then,
+         std::vector<Stmt *> Else)
+      : Stmt(Kind::If, Id, Loc), Cond(Cond), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond; }
+  const std::vector<Stmt *> &thenBody() const { return Then; }
+  const std::vector<Stmt *> &elseBody() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  std::vector<Stmt *> Then;
+  std::vector<Stmt *> Else;
+};
+
+/// while (Cond) { Body }. Every evaluation of Cond is one predicate
+/// instance, so each loop iteration forms a region nested in the previous
+/// iteration's region (Definition 3 of the paper).
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(StmtId Id, SourceLoc Loc, Expr *Cond, std::vector<Stmt *> Body)
+      : Stmt(Kind::While, Id, Loc), Cond(Cond), Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond; }
+  const std::vector<Stmt *> &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  std::vector<Stmt *> Body;
+};
+
+/// break; exits the innermost loop.
+class BreakStmt : public Stmt {
+public:
+  BreakStmt(StmtId Id, SourceLoc Loc) : Stmt(Kind::Break, Id, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+/// continue; jumps to the innermost loop's condition.
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt(StmtId Id, SourceLoc Loc) : Stmt(Kind::Continue, Id, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+/// return [value]; defines the frame's return-value location.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(StmtId Id, SourceLoc Loc, Expr *Value)
+      : Stmt(Kind::Return, Id, Loc), Value(Value) {}
+
+  /// Null when the return carries no value (the frame's return value
+  /// location is then defined as 0).
+  Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  Expr *Value;
+};
+
+/// print(e0, e1, ...); each argument produces one observable output event.
+class PrintStmt : public Stmt {
+public:
+  PrintStmt(StmtId Id, SourceLoc Loc, std::vector<Expr *> Args)
+      : Stmt(Kind::Print, Id, Loc), Args(std::move(Args)) {}
+
+  const std::vector<Expr *> &args() const { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Print; }
+
+private:
+  std::vector<Expr *> Args;
+};
+
+/// A call whose return value is discarded, used as a statement.
+class CallStmtNode : public Stmt {
+public:
+  CallStmtNode(StmtId Id, SourceLoc Loc, CallExpr *Call)
+      : Stmt(Kind::CallStmt, Id, Loc), Call(Call) {}
+
+  CallExpr *call() const { return Call; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::CallStmt; }
+
+private:
+  CallExpr *Call;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions, variables, and the program
+//===----------------------------------------------------------------------===//
+
+/// One Siml function.
+class Function {
+public:
+  Function(FuncId Id, SourceLoc Loc, std::string Name,
+           std::vector<std::string> ParamNames)
+      : Id(Id), Loc(Loc), Name(std::move(Name)),
+        ParamNames(std::move(ParamNames)) {}
+
+  FuncId id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+  const std::vector<std::string> &paramNames() const { return ParamNames; }
+
+  const std::vector<Stmt *> &body() const { return Body; }
+  void setBody(std::vector<Stmt *> B) { Body = std::move(B); }
+
+  /// Parameter variables in declaration order; filled by Sema.
+  const std::vector<VarId> &params() const { return Params; }
+  void setParams(std::vector<VarId> P) { Params = std::move(P); }
+
+  /// Number of int64 slots a frame of this function needs (params, locals,
+  /// array storage); computed by Sema.
+  uint32_t frameSlots() const { return FrameSlots; }
+  void setFrameSlots(uint32_t N) { FrameSlots = N; }
+
+private:
+  FuncId Id;
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<std::string> ParamNames;
+  std::vector<Stmt *> Body;
+  std::vector<VarId> Params;
+  uint32_t FrameSlots = 0;
+};
+
+/// Metadata for one resolved variable (global or local), filled by Sema.
+struct VarInfo {
+  std::string Name;
+  /// Owning function, or InvalidId for globals.
+  FuncId Func = InvalidId;
+  /// Offset of the first slot in global memory or the owning frame.
+  uint32_t Slot = 0;
+  /// 0 for scalars; the element count for arrays.
+  int64_t ArraySize = 0;
+  /// The declaring statement (InvalidId for parameters).
+  StmtId Decl = InvalidId;
+
+  bool isGlobal() const { return Func == InvalidId; }
+  bool isArray() const { return ArraySize != 0; }
+  /// Number of memory slots this variable occupies.
+  uint32_t slotCount() const {
+    return ArraySize == 0 ? 1u : static_cast<uint32_t>(ArraySize);
+  }
+};
+
+/// Owns every AST node of one Siml program and provides the dense-id
+/// registries (statements, expressions, variables, functions) that all
+/// analyses index by.
+class Program {
+public:
+  Program() = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  /// Creates and registers an expression node, assigning its ExprId.
+  template <typename T, typename... ArgTs> T *createExpr(ArgTs &&...Args) {
+    auto Node = std::make_unique<T>(static_cast<ExprId>(Exprs.size()),
+                                    std::forward<ArgTs>(Args)...);
+    T *Raw = Node.get();
+    ExprOwner.push_back(std::move(Node));
+    Exprs.push_back(Raw);
+    return Raw;
+  }
+
+  /// Creates and registers a statement node, assigning its StmtId.
+  template <typename T, typename... ArgTs> T *createStmt(ArgTs &&...Args) {
+    auto Node = std::make_unique<T>(static_cast<StmtId>(Stmts.size()),
+                                    std::forward<ArgTs>(Args)...);
+    T *Raw = Node.get();
+    StmtOwner.push_back(std::move(Node));
+    Stmts.push_back(Raw);
+    return Raw;
+  }
+
+  /// Creates and registers a function, assigning its FuncId.
+  Function *createFunction(SourceLoc Loc, std::string Name,
+                           std::vector<std::string> ParamNames);
+
+  /// Registers a resolved variable; returns its VarId. Called by Sema.
+  VarId addVariable(VarInfo Info);
+
+  const std::vector<Stmt *> &statements() const { return Stmts; }
+  const std::vector<Expr *> &expressions() const { return Exprs; }
+  const std::vector<Function *> &functions() const { return Funcs; }
+  const std::vector<VarInfo> &variables() const { return Vars; }
+
+  Stmt *statement(StmtId Id) const { return Stmts.at(Id); }
+  Expr *expression(ExprId Id) const { return Exprs.at(Id); }
+  Function *function(FuncId Id) const { return Funcs.at(Id); }
+  const VarInfo &variable(VarId Id) const { return Vars.at(Id); }
+
+  /// Top-level global declarations in source order (VarDeclStmt nodes).
+  const std::vector<VarDeclStmt *> &globals() const { return Globals; }
+  void addGlobal(VarDeclStmt *G) { Globals.push_back(G); }
+
+  /// The entry function; InvalidId until Sema resolves "main".
+  FuncId mainFunction() const { return MainFunc; }
+  void setMainFunction(FuncId F) { MainFunc = F; }
+
+  /// Total number of int64 slots of global memory; computed by Sema.
+  uint32_t globalSlots() const { return GlobalSlots; }
+  void setGlobalSlots(uint32_t N) { GlobalSlots = N; }
+
+  /// Looks up a function by name; returns InvalidId if absent.
+  FuncId findFunction(const std::string &Name) const;
+
+  /// Returns the first statement whose source line is \p Line, or
+  /// InvalidId. Used by the workload fault registry to anchor root causes.
+  StmtId statementAtLine(uint32_t Line) const;
+
+private:
+  std::vector<std::unique_ptr<Expr>> ExprOwner;
+  std::vector<std::unique_ptr<Stmt>> StmtOwner;
+  std::vector<std::unique_ptr<Function>> FuncOwner;
+  std::vector<Expr *> Exprs;
+  std::vector<Stmt *> Stmts;
+  std::vector<Function *> Funcs;
+  std::vector<VarInfo> Vars;
+  std::vector<VarDeclStmt *> Globals;
+  FuncId MainFunc = InvalidId;
+  uint32_t GlobalSlots = 0;
+};
+
+} // namespace lang
+} // namespace eoe
+
+#endif // EOE_LANG_AST_H

@@ -1,0 +1,342 @@
+//===-- lang/Lexer.cpp - Siml lexer -----------------------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Diagnostic.h"
+
+#include <cctype>
+
+using namespace eoe;
+using namespace eoe::lang;
+
+const char *lang::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwInput:
+    return "'input'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Unknown:
+    return "unknown token";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+
+  TokenKind Kind = TokenKind::Identifier;
+  if (Text == "var")
+    Kind = TokenKind::KwVar;
+  else if (Text == "fn")
+    Kind = TokenKind::KwFn;
+  else if (Text == "if")
+    Kind = TokenKind::KwIf;
+  else if (Text == "else")
+    Kind = TokenKind::KwElse;
+  else if (Text == "while")
+    Kind = TokenKind::KwWhile;
+  else if (Text == "break")
+    Kind = TokenKind::KwBreak;
+  else if (Text == "continue")
+    Kind = TokenKind::KwContinue;
+  else if (Text == "return")
+    Kind = TokenKind::KwReturn;
+  else if (Text == "print")
+    Kind = TokenKind::KwPrint;
+  else if (Text == "input")
+    Kind = TokenKind::KwInput;
+
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  int64_t Value = 0;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Value = Value * 10 + (advance() - '0');
+
+  Token T;
+  T.Kind = TokenKind::IntLiteral;
+  T.Loc = Loc;
+  T.Value = Value;
+  return T;
+}
+
+Token Lexer::lexCharLiteral(SourceLoc Loc) {
+  // Opening quote already consumed by the caller.
+  Token T;
+  T.Kind = TokenKind::IntLiteral;
+  T.Loc = Loc;
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated character literal");
+    T.Kind = TokenKind::Unknown;
+    return T;
+  }
+  char C = advance();
+  if (C == '\\' && !atEnd()) {
+    char Esc = advance();
+    switch (Esc) {
+    case 'n':
+      C = '\n';
+      break;
+    case 't':
+      C = '\t';
+      break;
+    case '0':
+      C = '\0';
+      break;
+    case '\\':
+      C = '\\';
+      break;
+    case '\'':
+      C = '\'';
+      break;
+    default:
+      Diags.error(Loc, std::string("unknown escape '\\") + Esc + "'");
+      break;
+    }
+  }
+  T.Value = static_cast<unsigned char>(C);
+  if (atEnd() || advance() != '\'') {
+    Diags.error(Loc, "expected closing ' in character literal");
+    T.Kind = TokenKind::Unknown;
+  }
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  Token T;
+  T.Loc = Loc;
+  if (atEnd()) {
+    T.Kind = TokenKind::EndOfFile;
+    return T;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+
+  advance();
+  switch (C) {
+  case '\'':
+    return lexCharLiteral(Loc);
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    return T;
+  case '[':
+    T.Kind = TokenKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokenKind::RBracket;
+    return T;
+  case ';':
+    T.Kind = TokenKind::Semicolon;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    return T;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    return T;
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case '/':
+    T.Kind = TokenKind::Slash;
+    return T;
+  case '%':
+    T.Kind = TokenKind::Percent;
+    return T;
+  case '=':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::EqEq;
+    } else {
+      T.Kind = TokenKind::Assign;
+    }
+    return T;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::NotEq;
+    } else {
+      T.Kind = TokenKind::Bang;
+    }
+    return T;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::LessEq;
+    } else {
+      T.Kind = TokenKind::Less;
+    }
+    return T;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::GreaterEq;
+    } else {
+      T.Kind = TokenKind::Greater;
+    }
+    return T;
+  case '&':
+    if (peek() == '&') {
+      advance();
+      T.Kind = TokenKind::AmpAmp;
+      return T;
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      T.Kind = TokenKind::PipePipe;
+      return T;
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  T.Kind = TokenKind::Unknown;
+  return T;
+}

@@ -1,0 +1,76 @@
+//===-- lang/Parser.h - Siml parser ------------------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for Siml. Produces a Program whose nodes are
+/// unresolved (names only); run Sema afterwards to resolve variables,
+/// functions, and frame layouts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_LANG_PARSER_H
+#define EOE_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Token.h"
+
+#include <memory>
+#include <vector>
+
+namespace eoe {
+class DiagnosticEngine;
+
+namespace lang {
+
+/// Parses a token stream into a Program.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a full program. On error, diagnostics are reported and the
+  /// returned Program may be partial; callers must check Diags.hasErrors().
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToStmt();
+
+  void parseTopLevel();
+  void parseGlobalDecl();
+  void parseFunction();
+  std::vector<Stmt *> parseBlock();
+  Stmt *parseStatement();
+  Stmt *parseVarDecl();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseAssignOrCall();
+
+  Expr *parseExpr();
+  Expr *parseBinaryRHS(int MinPrec, Expr *LHS);
+  Expr *parseUnary();
+  Expr *parsePrimary();
+  std::vector<Expr *> parseCallArgs();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Program> Prog;
+};
+
+/// Convenience entry point: lex + parse + sema in one call. Returns null
+/// and fills \p Diags on any error.
+std::unique_ptr<Program> parseAndCheck(std::string_view Source,
+                                       DiagnosticEngine &Diags);
+
+} // namespace lang
+} // namespace eoe
+
+#endif // EOE_LANG_PARSER_H

@@ -1,0 +1,219 @@
+//===-- lang/PrettyPrinter.cpp - Siml source rendering ----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/PrettyPrinter.h"
+
+#include <sstream>
+
+using namespace eoe;
+using namespace eoe::lang;
+
+namespace {
+
+void printExpr(std::ostringstream &OS, const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    OS << cast<IntLitExpr>(E)->value();
+    return;
+  case Expr::Kind::VarRef:
+    OS << cast<VarRefExpr>(E)->name();
+    return;
+  case Expr::Kind::ArrayRef: {
+    const auto *Ref = cast<ArrayRefExpr>(E);
+    OS << Ref->name() << '[';
+    printExpr(OS, Ref->index());
+    OS << ']';
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    OS << Call->calleeName() << '(';
+    for (size_t I = 0; I < Call->args().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      printExpr(OS, Call->args()[I]);
+    }
+    OS << ')';
+    return;
+  }
+  case Expr::Kind::Input:
+    OS << "input()";
+    return;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    OS << unaryOpSpelling(U->op());
+    OS << '(';
+    printExpr(OS, U->sub());
+    OS << ')';
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    OS << '(';
+    printExpr(OS, B->lhs());
+    OS << ' ' << binaryOpSpelling(B->op()) << ' ';
+    printExpr(OS, B->rhs());
+    OS << ')';
+    return;
+  }
+  }
+}
+
+void printStmtHead(std::ostringstream &OS, const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::VarDecl: {
+    const auto *Decl = cast<VarDeclStmt>(S);
+    OS << "var " << Decl->name();
+    if (Decl->isArray())
+      OS << '[' << Decl->arraySize() << ']';
+    if (Decl->init()) {
+      OS << " = ";
+      printExpr(OS, Decl->init());
+    }
+    OS << ';';
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    OS << A->name() << " = ";
+    printExpr(OS, A->value());
+    OS << ';';
+    return;
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(S);
+    OS << A->name() << '[';
+    printExpr(OS, A->index());
+    OS << "] = ";
+    printExpr(OS, A->value());
+    OS << ';';
+    return;
+  }
+  case Stmt::Kind::If: {
+    OS << "if (";
+    printExpr(OS, cast<IfStmt>(S)->cond());
+    OS << ')';
+    return;
+  }
+  case Stmt::Kind::While: {
+    OS << "while (";
+    printExpr(OS, cast<WhileStmt>(S)->cond());
+    OS << ')';
+    return;
+  }
+  case Stmt::Kind::Break:
+    OS << "break;";
+    return;
+  case Stmt::Kind::Continue:
+    OS << "continue;";
+    return;
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    OS << "return";
+    if (R->value()) {
+      OS << ' ';
+      printExpr(OS, R->value());
+    }
+    OS << ';';
+    return;
+  }
+  case Stmt::Kind::Print: {
+    const auto *P = cast<PrintStmt>(S);
+    OS << "print(";
+    for (size_t I = 0; I < P->args().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      printExpr(OS, P->args()[I]);
+    }
+    OS << ");";
+    return;
+  }
+  case Stmt::Kind::CallStmt:
+    printExpr(OS, cast<CallStmtNode>(S)->call());
+    OS << ';';
+    return;
+  }
+}
+
+void printBody(std::ostringstream &OS, const std::vector<Stmt *> &Body,
+               int Indent);
+
+void printFullStmt(std::ostringstream &OS, const Stmt *S, int Indent) {
+  OS << std::string(static_cast<size_t>(Indent) * 2, ' ');
+  if (const auto *If = dyn_cast<IfStmt>(S)) {
+    OS << "if (";
+    printExpr(OS, If->cond());
+    OS << ") {\n";
+    printBody(OS, If->thenBody(), Indent + 1);
+    OS << std::string(static_cast<size_t>(Indent) * 2, ' ') << '}';
+    if (!If->elseBody().empty()) {
+      OS << " else {\n";
+      printBody(OS, If->elseBody(), Indent + 1);
+      OS << std::string(static_cast<size_t>(Indent) * 2, ' ') << '}';
+    }
+    OS << '\n';
+    return;
+  }
+  if (const auto *W = dyn_cast<WhileStmt>(S)) {
+    OS << "while (";
+    printExpr(OS, W->cond());
+    OS << ") {\n";
+    printBody(OS, W->body(), Indent + 1);
+    OS << std::string(static_cast<size_t>(Indent) * 2, ' ') << "}\n";
+    return;
+  }
+  printStmtHead(OS, S);
+  OS << '\n';
+}
+
+void printBody(std::ostringstream &OS, const std::vector<Stmt *> &Body,
+               int Indent) {
+  for (const Stmt *S : Body)
+    printFullStmt(OS, S, Indent);
+}
+
+} // namespace
+
+std::string lang::exprToString(const Expr *E) {
+  std::ostringstream OS;
+  printExpr(OS, E);
+  return OS.str();
+}
+
+std::string lang::stmtToString(const Stmt *S) {
+  std::ostringstream OS;
+  printStmtHead(OS, S);
+  return OS.str();
+}
+
+std::string lang::describeStmt(const Program &Prog, StmtId Id) {
+  const Stmt *S = Prog.statement(Id);
+  std::ostringstream OS;
+  OS << "line " << S->loc().Line << ": ";
+  printStmtHead(OS, S);
+  return OS.str();
+}
+
+std::string lang::programToString(const Program &Prog) {
+  std::ostringstream OS;
+  for (const VarDeclStmt *G : Prog.globals()) {
+    printStmtHead(OS, G);
+    OS << '\n';
+  }
+  for (const Function *F : Prog.functions()) {
+    OS << "fn " << F->name() << '(';
+    for (size_t I = 0; I < F->paramNames().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << F->paramNames()[I];
+    }
+    OS << ") {\n";
+    printBody(OS, F->body(), 1);
+    OS << "}\n";
+  }
+  return OS.str();
+}

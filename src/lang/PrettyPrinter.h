@@ -1,0 +1,41 @@
+//===-- lang/PrettyPrinter.h - Siml source rendering -------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes back to source text. Used by the debugging reports
+/// (fault candidate listings) and by examples; also round-trip-tested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_LANG_PRETTYPRINTER_H
+#define EOE_LANG_PRETTYPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace eoe {
+namespace lang {
+
+/// Renders \p E as an expression string.
+std::string exprToString(const Expr *E);
+
+/// Renders the head of \p S on one line. Compound statements render only
+/// their header ("if (x > 0)", "while (i < n)"), matching how the paper
+/// reports predicates.
+std::string stmtToString(const Stmt *S);
+
+/// Renders \p S with "line L: " prefixed, e.g. "line 12: flags = flags + 32".
+std::string describeStmt(const Program &Prog, StmtId Id);
+
+/// Renders the whole program as (re-parsable) source text.
+std::string programToString(const Program &Prog);
+
+} // namespace lang
+} // namespace eoe
+
+#endif // EOE_LANG_PRETTYPRINTER_H

@@ -1,0 +1,66 @@
+//===-- lang/Sema.h - Siml semantic checking ---------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and semantic checks for Siml programs: binds variable
+/// references and calls, lays out global and frame memory slots, and
+/// validates structural rules (break/continue placement, array vs scalar
+/// usage, call arity, presence of a zero-argument main).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_LANG_SEMA_H
+#define EOE_LANG_SEMA_H
+
+#include "lang/AST.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eoe {
+class DiagnosticEngine;
+
+namespace lang {
+
+/// Resolves and validates a parsed Program in place.
+class Sema {
+public:
+  Sema(Program &Prog, DiagnosticEngine &Diags);
+
+  /// Runs all checks; afterwards the program is fully resolved unless
+  /// Diags.hasErrors().
+  void run();
+
+private:
+  struct Scope {
+    std::map<std::string, VarId> Vars;
+  };
+
+  void declareGlobals();
+  void checkFunction(Function &F);
+  void checkBody(const std::vector<Stmt *> &Body);
+  void checkStmt(Stmt *S);
+  void checkExpr(Expr *E);
+  VarId declareVar(const std::string &Name, int64_t ArraySize, StmtId Decl,
+                   SourceLoc Loc);
+  VarId lookupVar(const std::string &Name) const;
+  void requireScalar(VarId Var, SourceLoc Loc, const std::string &Name);
+  void requireArray(VarId Var, SourceLoc Loc, const std::string &Name);
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  std::vector<Scope> Scopes;   // innermost last; Scopes[0] = globals
+  Function *CurFunc = nullptr; // function being checked
+  uint32_t NextSlot = 0;       // next free frame slot in CurFunc
+  unsigned LoopDepth = 0;      // nesting depth of while statements
+};
+
+} // namespace lang
+} // namespace eoe
+
+#endif // EOE_LANG_SEMA_H

@@ -1,0 +1,84 @@
+//===-- lang/Token.h - Siml tokens -------------------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Siml lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_LANG_TOKEN_H
+#define EOE_LANG_TOKEN_H
+
+#include "support/Diagnostic.h"
+
+#include <cstdint>
+#include <string>
+
+namespace eoe {
+namespace lang {
+
+/// Every lexical token category of Siml.
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwVar,
+  KwFn,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwPrint,
+  KwInput,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  // Lexer error placeholder.
+  Unknown
+};
+
+/// Returns a human-readable name for \p Kind, used in parse errors.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is filled for identifiers; Value for literals.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t Value = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace lang
+} // namespace eoe
+
+#endif // EOE_LANG_TOKEN_H

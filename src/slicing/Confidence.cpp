@@ -1,0 +1,251 @@
+//===-- slicing/Confidence.cpp - Confidence analysis --------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/Confidence.h"
+
+#include "slicing/Invertibility.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace eoe;
+using namespace eoe::interp;
+using namespace eoe::slicing;
+
+ConfidenceAnalysis::ConfidenceAnalysis(const lang::Program &Prog,
+                                       const ddg::DepGraph &G,
+                                       const ValueProfile *Values,
+                                       const OutputVerdicts &V, Options Opts)
+    : Prog(Prog), G(G), Values(Values), V(V), Opts(Opts) {
+  recompute({});
+}
+
+void ConfidenceAnalysis::recompute(const std::vector<TraceIdx> &BenignMarks,
+                                   const std::set<TraceIdx> &Corrupted) {
+  const ExecutionTrace &T = G.trace();
+  ddg::DepGraph::ClosureOptions All;
+
+  WrongSlice =
+      G.backwardClosure({T.Outputs.at(V.WrongOutput).Step}, All, &Depth);
+
+  std::vector<TraceIdx> CorrectSeeds;
+  for (size_t O : V.CorrectOutputs)
+    CorrectSeeds.push_back(T.Outputs.at(O).Step);
+  ReachesCorrect = G.backwardClosure(CorrectSeeds, All);
+
+  UserBenign.assign(T.size(), false);
+  for (TraceIdx B : BenignMarks)
+    UserBenign[B] = true;
+
+  inferCorrectValues(BenignMarks, Corrupted);
+  rank();
+}
+
+namespace {
+
+/// The expression whose evaluation produced the definition of \p Loc at
+/// \p Step: the statement's value root for its own definition, or the
+/// corresponding argument expression for a callee-parameter store. Null
+/// when the def cannot be attributed (e.g. short-circuiting skipped a
+/// call, making the def layout ambiguous).
+const lang::Expr *rootExprForDef(const lang::Program &Prog,
+                                 const StepRecord &Step, uint64_t LocRaw) {
+  size_t DefIdx = Step.Defs.size();
+  for (size_t I = 0; I < Step.Defs.size(); ++I) {
+    if (Step.Defs[I].Loc.Raw == LocRaw) {
+      DefIdx = I;
+      break;
+    }
+  }
+  if (DefIdx == Step.Defs.size())
+    return nullptr;
+
+  const lang::Stmt *S = Prog.statement(Step.Stmt);
+  std::vector<const lang::CallExpr *> Calls;
+  for (const lang::Expr *Root : evaluatedRoots(S))
+    collectCallsPostorder(Root, Calls);
+
+  // Expected layout: per call, one def per argument (parameter stores),
+  // then the statement's own definition if it has one.
+  const lang::Expr *Own = valueRoot(S);
+  bool HasOwnDef = Own != nullptr || S->kind() == lang::Stmt::Kind::Return;
+  size_t Expected = HasOwnDef ? 1 : 0;
+  for (const lang::CallExpr *Call : Calls)
+    Expected += Call->args().size();
+  if (Expected != Step.Defs.size()) {
+    // Short-circuit skipped some call: fall back to trusting only the
+    // final (own) definition.
+    if (HasOwnDef && DefIdx == Step.Defs.size() - 1)
+      return Own;
+    return nullptr;
+  }
+
+  size_t Cursor = 0;
+  for (const lang::CallExpr *Call : Calls) {
+    if (DefIdx < Cursor + Call->args().size())
+      return Call->args()[DefIdx - Cursor];
+    Cursor += Call->args().size();
+  }
+  return Own; // The statement's own definition.
+}
+
+} // namespace
+
+void ConfidenceAnalysis::markDefCorrect(TraceIdx Def, MemLoc Loc,
+                                        PropagationWork &Work) {
+  if (Def == InvalidId)
+    return;
+  if (!CorrectDefs.insert({Def, Loc.Raw}).second)
+    return;
+  // Propagate backward through the expression that produced this
+  // definition (the value root, or the argument expression of a
+  // parameter store -- the interprocedural case).
+  const lang::Expr *Root =
+      rootExprForDef(Prog, G.trace().step(Def), Loc.Raw);
+  if (Root)
+    Work.push_back({Def, Root});
+}
+
+void ConfidenceAnalysis::inferCorrectValues(
+    const std::vector<TraceIdx> &BenignMarks,
+    const std::set<TraceIdx> &Corrupted) {
+  const ExecutionTrace &T = G.trace();
+  // Instances pinned as corrupted: the user's verdict (or the wrong
+  // output itself) overrides any inference from the values they read.
+  auto IsPinned = [&](TraceIdx I) {
+    return I == T.Outputs.at(V.WrongOutput).Step || Corrupted.count(I) != 0;
+  };
+  CorrectDefs.clear();
+  PropagationWork Work;
+
+  // Seeds from correct outputs: an output value known correct verifies
+  // the defs feeding it through one-to-one argument expressions.
+  for (size_t O : V.CorrectOutputs) {
+    const OutputEvent &E = T.Outputs.at(O);
+    const auto *P = cast<lang::PrintStmt>(Prog.statement(T.step(E.Step).Stmt));
+    const lang::Expr *Root = P->args().at(E.ArgNo);
+    for (const UseRecord &Use : T.step(E.Step).Uses)
+      if (exprContains(Root, Use.LoadExpr) &&
+          invertiblePath(Root, Use.LoadExpr))
+        markDefCorrect(Use.Def, Use.Loc, Work);
+  }
+
+  // Seeds from user-declared benign instances: their definitions carry
+  // correct values.
+  for (TraceIdx B : BenignMarks)
+    for (const DefRecord &D : T.step(B).Defs)
+      markDefCorrect(B, D.Loc, Work);
+
+  // Backward propagation through invertible value expressions, across
+  // call boundaries via parameter-store roots.
+  while (!Work.empty()) {
+    auto [I, Root] = Work.back();
+    Work.pop_back();
+    for (const UseRecord &Use : T.step(I).Uses)
+      if (exprContains(Root, Use.LoadExpr) &&
+          invertiblePath(Root, Use.LoadExpr))
+        markDefCorrect(Use.Def, Use.Loc, Work);
+  }
+
+  // Instance-level verdicts.
+  Correct.assign(T.size(), false);
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    if (IsPinned(I))
+      continue;
+    if (UserBenign[I]) {
+      Correct[I] = true;
+      continue;
+    }
+    const StepRecord &Step = T.step(I);
+    if (!Step.Defs.empty()) {
+      Correct[I] =
+          CorrectDefs.count({I, Step.Defs.back().Loc.Raw}) != 0;
+      continue;
+    }
+    // Print instances: the emitted values ARE the used values, so a
+    // print whose observed values are all verified is correct. The same
+    // inference is deliberately NOT applied to predicates: a predicate
+    // can be the fault itself (a mutated condition computes a wrong
+    // branch from perfectly correct inputs -- e.g. the seeded
+    // boundary-condition faults), so correct inputs must not sanitize
+    // it. Predicates are only pruned via user marks or the Figure 5
+    // implicit-dependent rule below.
+    if (Prog.statement(Step.Stmt)->kind() == lang::Stmt::Kind::Print &&
+        !Step.Uses.empty()) {
+      bool AllUsesCorrect = true;
+      for (const UseRecord &Use : Step.Uses) {
+        if (Use.Def == InvalidId ||
+            !CorrectDefs.count({Use.Def, Use.Loc.Raw})) {
+          AllUsesCorrect = false;
+          break;
+        }
+      }
+      Correct[I] = AllUsesCorrect;
+    }
+  }
+
+  // Figure 5: verified implicit dependents that are all correct sanitize
+  // their predicate. One round suffices for the chains the procedure
+  // builds, but iterate to a fixpoint for robustness.
+  if (Opts.PropagateAcrossImplicit && !G.implicitEdges().empty()) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (TraceIdx I = 0; I < T.size(); ++I) {
+        if (Correct[I] || IsPinned(I))
+          continue;
+        bool Any = false, All = true;
+        for (const auto &E : G.implicitEdges()) {
+          if (E.Pred != I)
+            continue;
+          Any = true;
+          All = All && Correct[E.Use];
+        }
+        if (Any && All) {
+          Correct[I] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+double ConfidenceAnalysis::confidence(TraceIdx I) const {
+  if (I >= WrongSlice.size() || !WrongSlice[I])
+    return 1.0;
+  if (Correct[I])
+    return 1.0;
+  if (!ReachesCorrect[I])
+    return 0.0;
+  // Reaches a correct output through a many-to-one mapping: confidence
+  // grows with the statement's observed value range (PLDI'06's
+  // 1 - log|alt| / log|range| with |alt| unresolvable from profiles
+  // alone; calibrated so richer ranges give more credit but never 1).
+  double Range = 2.0;
+  if (Values)
+    Range = std::max<double>(2.0, static_cast<double>(
+                                      Values->rangeSize(G.trace().step(I).Stmt)));
+  return 0.5 + 0.5 * (1.0 - 1.0 / std::log2(Range + 2.0));
+}
+
+void ConfidenceAnalysis::rank() {
+  const ExecutionTrace &T = G.trace();
+  Ranked.clear();
+  for (TraceIdx I = 0; I < T.size(); ++I)
+    if (WrongSlice[I] && !Correct[I])
+      Ranked.push_back(I);
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [this](TraceIdx A, TraceIdx B) {
+                     double CA = confidence(A), CB = confidence(B);
+                     if (CA != CB)
+                       return CA < CB;
+                     if (Depth[A] != Depth[B])
+                       return Depth[A] < Depth[B];
+                     return A > B;
+                   });
+}

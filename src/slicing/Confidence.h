@@ -1,0 +1,135 @@
+//===-- slicing/Confidence.h - Confidence analysis ---------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Confidence analysis ("Pruning dynamic slices with confidence",
+/// PLDI'06), the pruning engine the paper's demand-driven procedure calls
+/// PruneSlicing(). Each instance in the dynamic slice of the wrong output
+/// receives a confidence in [0,1]:
+///
+///  - 1 when the instance's produced value is *inferred correct*: it
+///    reaches a known-correct output (or a user-declared benign value)
+///    through a chain of one-to-one mappings (see Invertibility.h), like
+///    Figure 4's "b = a % 2 printed correctly => b's def is correct";
+///  - 0 when the instance reaches only the wrong output;
+///  - an intermediate value, increasing with the statement's observed
+///    value range, when it reaches a correct output through a
+///    many-to-one mapping (the "a = 1" of Figure 4: alt cannot be ruled
+///    out, confidence estimated from the value profile).
+///
+/// Instances with confidence 1 are pruned; the remainder is ranked most
+/// suspicious first (low confidence, then short dependence distance to
+/// the failure).
+///
+/// Verified implicit dependence edges participate (paper Figure 5): when
+/// every implicit dependent of a predicate instance is inferred correct,
+/// the predicate is considered correct too -- this is exactly why the
+/// demand-driven algorithm verifies p -> t for all t in PD^-1(p), and it
+/// is safe only because the edges are verified, not merely potential
+/// (section 3.2's "sanitizes the root cause" discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_CONFIDENCE_H
+#define EOE_SLICING_CONFIDENCE_H
+
+#include "ddg/DepGraph.h"
+#include "interp/Profiler.h"
+#include "lang/AST.h"
+#include "slicing/OutputVerdicts.h"
+
+#include <set>
+#include <vector>
+
+namespace eoe {
+namespace slicing {
+
+/// Confidence values and the pruned, ranked fault candidate set.
+class ConfidenceAnalysis {
+public:
+  struct Options {
+    /// Figure 5 mechanism: let inferred-correct implicit dependents
+    /// sanitize their predicate. Disable to ablate.
+    bool PropagateAcrossImplicit = true;
+  };
+
+  /// \p Values may be null (ranges then default to "unknown, small").
+  ConfidenceAnalysis(const lang::Program &Prog, const ddg::DepGraph &G,
+                     const interp::ValueProfile *Values,
+                     const OutputVerdicts &V, Options Opts);
+
+  /// Same, with default options.
+  ConfidenceAnalysis(const lang::Program &Prog, const ddg::DepGraph &G,
+                     const interp::ValueProfile *Values,
+                     const OutputVerdicts &V)
+      : ConfidenceAnalysis(Prog, G, Values, V, Options()) {}
+
+  /// Recomputes everything against the graph's current edges and the
+  /// user's benign marks (instances whose state the user vouched for).
+  /// \p Corrupted pins instances the user declared corrupted: they are
+  /// never inferred correct, even when the values they *read* are. This
+  /// matters precisely for execution omission errors, where a stale
+  /// definition carries a locally-correct value to a point that should
+  /// have received a different definition altogether. The wrong output
+  /// instance is always pinned.
+  void recompute(const std::vector<TraceIdx> &BenignMarks,
+                 const std::set<TraceIdx> &Corrupted);
+
+  /// Convenience overload with no pinned instances beyond the wrong
+  /// output.
+  void recompute(const std::vector<TraceIdx> &BenignMarks) {
+    recompute(BenignMarks, {});
+  }
+
+  /// The trace the analysis ranges over.
+  const interp::ExecutionTrace &trace() const { return G.trace(); }
+
+  /// Confidence of \p I in [0,1]; 1 outside the wrong output's slice.
+  double confidence(TraceIdx I) const;
+
+  /// True if \p I's produced value was inferred correct (confidence 1).
+  bool inferredCorrect(TraceIdx I) const { return Correct[I]; }
+
+  /// Membership bitset of the dynamic slice of the wrong output under
+  /// the graph's current edges (including implicit ones).
+  const std::vector<bool> &wrongOutputSlice() const { return WrongSlice; }
+
+  /// The pruned slice: instances of the wrong output's slice that are
+  /// still fault candidates, most suspicious first.
+  const std::vector<TraceIdx> &prunedSlice() const { return Ranked; }
+
+private:
+  /// Pending backward-propagation items: an instance whose definition
+  /// was verified, paired with the expression that produced it.
+  using PropagationWork =
+      std::vector<std::pair<TraceIdx, const lang::Expr *>>;
+
+  void inferCorrectValues(const std::vector<TraceIdx> &BenignMarks,
+                          const std::set<TraceIdx> &Corrupted);
+  void markDefCorrect(TraceIdx Def, interp::MemLoc Loc,
+                      PropagationWork &Work);
+  void rank();
+
+  const lang::Program &Prog;
+  const ddg::DepGraph &G;
+  const interp::ValueProfile *Values;
+  const OutputVerdicts &V;
+  Options Opts;
+
+  std::vector<bool> WrongSlice;
+  std::vector<uint32_t> Depth;
+  std::vector<bool> ReachesCorrect;
+  std::vector<bool> Correct;   // inferred correct per instance
+  std::vector<bool> UserBenign;
+  std::set<std::pair<TraceIdx, uint64_t>> CorrectDefs;
+  std::vector<TraceIdx> Ranked;
+};
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_CONFIDENCE_H

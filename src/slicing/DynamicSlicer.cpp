@@ -1,0 +1,32 @@
+//===-- slicing/DynamicSlicer.cpp - Classic dynamic slicing -------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/DynamicSlicer.h"
+
+using namespace eoe;
+using namespace eoe::slicing;
+
+bool SliceResult::containsStmt(const interp::ExecutionTrace &T,
+                               StmtId S) const {
+  for (TraceIdx I = 0; I < Member.size(); ++I)
+    if (Member[I] && T.step(I).Stmt == S)
+      return true;
+  return false;
+}
+
+SliceResult eoe::slicing::computeDynamicSlice(const ddg::DepGraph &G,
+                                              TraceIdx Seed) {
+  SliceResult R;
+  R.Member = G.backwardClosure({Seed}, ddg::DepGraph::ClosureOptions());
+  R.Stats = G.stats(R.Member);
+  return R;
+}
+
+SliceResult eoe::slicing::sliceOfWrongOutput(const ddg::DepGraph &G,
+                                             const OutputVerdicts &V) {
+  return computeDynamicSlice(G, G.trace().Outputs.at(V.WrongOutput).Step);
+}

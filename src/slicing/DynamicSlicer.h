@@ -1,0 +1,46 @@
+//===-- slicing/DynamicSlicer.h - Classic dynamic slicing --------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic Korel/Laski dynamic slicing (the paper's DS baseline): the
+/// backward closure over dynamic data and control dependences from the
+/// wrong output. Misses execution omission errors by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_DYNAMICSLICER_H
+#define EOE_SLICING_DYNAMICSLICER_H
+
+#include "ddg/DepGraph.h"
+#include "slicing/OutputVerdicts.h"
+
+namespace eoe {
+namespace slicing {
+
+/// A computed slice: membership bitset over trace instances plus sizes.
+struct SliceResult {
+  std::vector<bool> Member;
+  ddg::SliceStats Stats;
+
+  bool contains(TraceIdx I) const { return I < Member.size() && Member[I]; }
+
+  /// True if any instance of \p S is in the slice.
+  bool containsStmt(const interp::ExecutionTrace &T, StmtId S) const;
+};
+
+/// Computes the dynamic slice of instance \p Seed over \p G (data +
+/// control + any already-added implicit edges).
+SliceResult computeDynamicSlice(const ddg::DepGraph &G, TraceIdx Seed);
+
+/// Computes the dynamic slice of the wrong output of \p V.
+SliceResult sliceOfWrongOutput(const ddg::DepGraph &G,
+                               const OutputVerdicts &V);
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_DYNAMICSLICER_H

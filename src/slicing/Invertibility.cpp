@@ -1,0 +1,174 @@
+//===-- slicing/Invertibility.cpp - One-to-one value flow ---------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/Invertibility.h"
+
+#include "support/Casting.h"
+
+using namespace eoe;
+using namespace eoe::lang;
+using namespace eoe::slicing;
+
+bool eoe::slicing::exprContains(const Expr *Root, ExprId Target) {
+  if (Root->id() == Target)
+    return true;
+  switch (Root->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::Input:
+    return false;
+  case Expr::Kind::ArrayRef:
+    return exprContains(cast<ArrayRefExpr>(Root)->index(), Target);
+  case Expr::Kind::Call: {
+    for (const Expr *Arg : cast<CallExpr>(Root)->args())
+      if (exprContains(Arg, Target))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Unary:
+    return exprContains(cast<UnaryExpr>(Root)->sub(), Target);
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(Root);
+    return exprContains(B->lhs(), Target) || exprContains(B->rhs(), Target);
+  }
+  }
+  return false;
+}
+
+bool eoe::slicing::invertiblePath(const Expr *Root, ExprId Load) {
+  if (Root->id() == Load)
+    return true;
+  switch (Root->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::Input:
+    return false;
+  case Expr::Kind::ArrayRef:
+    // The element's value is not a one-to-one function of the index.
+    return false;
+  case Expr::Kind::Call:
+    // A callee is an arbitrary (usually many-to-one) function of its
+    // arguments. The load being the call's return-value read itself is
+    // handled by the identity case above.
+    return false;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(Root);
+    if (!exprContains(U->sub(), Load))
+      return false;
+    // Negation is a bijection; logical not collapses to two values.
+    return U->op() == UnaryOp::Neg && invertiblePath(U->sub(), Load);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(Root);
+    const Expr *Side = nullptr;
+    const Expr *Other = nullptr;
+    if (exprContains(B->lhs(), Load)) {
+      Side = B->lhs();
+      Other = B->rhs();
+    } else if (exprContains(B->rhs(), Load)) {
+      Side = B->rhs();
+      Other = B->lhs();
+    } else {
+      return false;
+    }
+    switch (B->op()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return invertiblePath(Side, Load);
+    case BinaryOp::Mul: {
+      // One-to-one only when scaling by a nonzero constant.
+      const auto *Lit = dyn_cast<IntLitExpr>(Other);
+      return Lit && Lit->value() != 0 && invertiblePath(Side, Load);
+    }
+    default:
+      return false; // div, mod, comparisons, logic: many-to-one.
+    }
+  }
+  }
+  return false;
+}
+
+const Expr *eoe::slicing::valueRoot(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::VarDecl:
+    return cast<VarDeclStmt>(S)->init();
+  case Stmt::Kind::Assign:
+    return cast<AssignStmt>(S)->value();
+  case Stmt::Kind::ArrayAssign:
+    return cast<ArrayAssignStmt>(S)->value();
+  case Stmt::Kind::Return:
+    return cast<ReturnStmt>(S)->value();
+  default:
+    return nullptr;
+  }
+}
+
+std::vector<const Expr *> eoe::slicing::evaluatedRoots(const Stmt *S) {
+  std::vector<const Expr *> Out;
+  switch (S->kind()) {
+  case Stmt::Kind::VarDecl:
+    if (const Expr *Init = cast<VarDeclStmt>(S)->init())
+      Out.push_back(Init);
+    break;
+  case Stmt::Kind::Assign:
+    Out.push_back(cast<AssignStmt>(S)->value());
+    break;
+  case Stmt::Kind::ArrayAssign:
+    Out.push_back(cast<ArrayAssignStmt>(S)->index());
+    Out.push_back(cast<ArrayAssignStmt>(S)->value());
+    break;
+  case Stmt::Kind::If:
+    Out.push_back(cast<IfStmt>(S)->cond());
+    break;
+  case Stmt::Kind::While:
+    Out.push_back(cast<WhileStmt>(S)->cond());
+    break;
+  case Stmt::Kind::Return:
+    if (const Expr *Value = cast<ReturnStmt>(S)->value())
+      Out.push_back(Value);
+    break;
+  case Stmt::Kind::Print:
+    for (const Expr *Arg : cast<PrintStmt>(S)->args())
+      Out.push_back(Arg);
+    break;
+  case Stmt::Kind::CallStmt:
+    Out.push_back(cast<CallStmtNode>(S)->call());
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+void eoe::slicing::collectCallsPostorder(const Expr *Root,
+                                         std::vector<const CallExpr *> &Out) {
+  switch (Root->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::Input:
+    return;
+  case Expr::Kind::ArrayRef:
+    collectCallsPostorder(cast<ArrayRefExpr>(Root)->index(), Out);
+    return;
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(Root);
+    for (const Expr *Arg : Call->args())
+      collectCallsPostorder(Arg, Out);
+    Out.push_back(Call);
+    return;
+  }
+  case Expr::Kind::Unary:
+    collectCallsPostorder(cast<UnaryExpr>(Root)->sub(), Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(Root);
+    collectCallsPostorder(B->lhs(), Out);
+    collectCallsPostorder(B->rhs(), Out);
+    return;
+  }
+  }
+}

@@ -1,0 +1,59 @@
+//===-- slicing/Invertibility.h - One-to-one value flow ----------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static invertibility analysis backing the confidence computation
+/// (PLDI'06, "Pruning dynamic slices with confidence"): a statement's
+/// produced value is a one-to-one function of a given loaded operand when
+/// the expression path from the load to the statement's value root
+/// consists only of invertible operations. If a downstream value is known
+/// correct and the mapping is one-to-one, the operand's defining instance
+/// must have produced a correct value as well -- the inference that lets
+/// pruning assign confidence 1.
+///
+/// Invertible (other operands fixed): copies, unary minus, + and -, and
+/// multiplication by a nonzero constant. Everything else (div, mod,
+/// comparisons, logical ops, array indexing into a value, calls) is
+/// treated as many-to-one, like the paper's Figure 4 "b = a % 2".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_INVERTIBILITY_H
+#define EOE_SLICING_INVERTIBILITY_H
+
+#include "lang/AST.h"
+
+namespace eoe {
+namespace slicing {
+
+/// True if the subtree of \p Root contains the expression \p Target.
+bool exprContains(const lang::Expr *Root, ExprId Target);
+
+/// True if the value of \p Root is a one-to-one function of the value
+/// loaded at \p Load (which must be a VarRef/ArrayRef/Call node inside
+/// \p Root), holding all other inputs fixed.
+bool invertiblePath(const lang::Expr *Root, ExprId Load);
+
+/// The expression whose value a statement "produces": the RHS of an
+/// assignment or scalar declaration, the stored value of an array store,
+/// or a return's operand. Null for statements that produce no value.
+const lang::Expr *valueRoot(const lang::Stmt *S);
+
+/// The expressions a statement evaluates, in evaluation order (condition,
+/// index/value operands, print arguments, ...).
+std::vector<const lang::Expr *> evaluatedRoots(const lang::Stmt *S);
+
+/// Collects the call expressions inside \p Root in invocation-completion
+/// order (inner calls first), matching the order in which the tracing
+/// interpreter pushes callee-parameter definitions.
+void collectCallsPostorder(const lang::Expr *Root,
+                           std::vector<const lang::CallExpr *> &Out);
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_INVERTIBILITY_H

@@ -1,0 +1,30 @@
+//===-- slicing/OutputVerdicts.cpp - Correct/wrong output labels --------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/OutputVerdicts.h"
+
+#include <algorithm>
+
+using namespace eoe;
+using namespace eoe::slicing;
+
+std::optional<OutputVerdicts>
+eoe::slicing::diffOutputs(const interp::ExecutionTrace &Failing,
+                          const std::vector<int64_t> &Expected) {
+  size_t Common = std::min(Failing.Outputs.size(), Expected.size());
+  for (size_t I = 0; I < Common; ++I) {
+    if (Failing.Outputs[I].Value == Expected[I])
+      continue;
+    OutputVerdicts V;
+    for (size_t J = 0; J < I; ++J)
+      V.CorrectOutputs.push_back(J);
+    V.WrongOutput = I;
+    V.ExpectedValue = Expected[I];
+    return V;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,50 @@
+//===-- slicing/OutputVerdicts.h - Correct/wrong output labels ---*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The failure specification every debugging stage consumes: which output
+/// events of the failing run are known correct (the paper's Ov), which is
+/// the first wrong output (o-cross), and the value the programmer expected
+/// there (vexp, used to recognize strong implicit dependences).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_OUTPUTVERDICTS_H
+#define EOE_SLICING_OUTPUTVERDICTS_H
+
+#include "interp/Trace.h"
+
+#include <optional>
+#include <vector>
+
+namespace eoe {
+namespace slicing {
+
+/// Labels over a failing run's output events.
+struct OutputVerdicts {
+  /// Indices into ExecutionTrace::Outputs that carry correct values.
+  std::vector<size_t> CorrectOutputs;
+  /// Index of the first wrong output event.
+  size_t WrongOutput = 0;
+  /// The expected (correct) value at the wrong output.
+  int64_t ExpectedValue = 0;
+};
+
+/// Builds verdicts by comparing the failing run's outputs to the expected
+/// output sequence (in practice obtained from the fixed program on the
+/// same input). Outputs before the first mismatch are correct; outputs
+/// after it are left unlabeled, mirroring how a programmer reads a log up
+/// to the first wrong value. Returns nullopt when the runs agree on every
+/// common prefix value (no observable value failure).
+std::optional<OutputVerdicts>
+diffOutputs(const interp::ExecutionTrace &Failing,
+            const std::vector<int64_t> &Expected);
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_OUTPUTVERDICTS_H

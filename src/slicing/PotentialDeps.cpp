@@ -1,0 +1,129 @@
+//===-- slicing/PotentialDeps.cpp - Potential dependences ---------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/PotentialDeps.h"
+
+#include <algorithm>
+
+using namespace eoe;
+using namespace eoe::slicing;
+using namespace eoe::interp;
+
+PotentialDepAnalyzer::PotentialDepAnalyzer(
+    const analysis::StaticAnalysis &SA, const ExecutionTrace &Trace, Backend B,
+    const UnionDependenceGraph *Union)
+    : SA(SA), Trace(Trace), B(B), Union(Union) {
+  for (const lang::Stmt *S : SA.program().statements())
+    if (S->isPredicate())
+      PredStmts.push_back(S->id());
+  for (TraceIdx I = 0; I < Trace.size(); ++I)
+    if (Trace.step(I).isPredicateInstance())
+      PredInstances[Trace.step(I).Stmt].push_back(I);
+}
+
+const std::vector<PotentialDepAnalyzer::CandidatePred> &
+PotentialDepAnalyzer::candidates(VarId Var, ExprId LoadExpr) const {
+  ExprId Key = B == Backend::UnionGraph ? LoadExpr : InvalidId;
+  auto CacheKey = std::make_pair(Var, Key);
+  auto It = CandidateCache.find(CacheKey);
+  if (It != CandidateCache.end())
+    return It->second;
+
+  std::vector<CandidatePred> Out;
+  const std::vector<StmtId> &Defs = SA.defsOfVar(Var);
+  for (StmtId Pred : PredStmts) {
+    CandidatePred C{Pred, false, false};
+    for (StmtId D : Defs) {
+      // Under the union backend, only defs that were ever observed to
+      // flow into this very load qualify (Definition 1(iv), sharpened by
+      // the profile). The static backend keeps every may-alias def.
+      if (B == Backend::UnionGraph && Union &&
+          !Union->contains(D, LoadExpr))
+        continue;
+      if (!C.DefsOnTrue && SA.cdRegionContains(Pred, true, D))
+        C.DefsOnTrue = true;
+      if (!C.DefsOnFalse && SA.cdRegionContains(Pred, false, D))
+        C.DefsOnFalse = true;
+      if (C.DefsOnTrue && C.DefsOnFalse)
+        break;
+    }
+    if (C.DefsOnTrue || C.DefsOnFalse)
+      Out.push_back(C);
+  }
+  return CandidateCache.emplace(CacheKey, std::move(Out)).first->second;
+}
+
+void PotentialDepAnalyzer::collectAncestors(TraceIdx UseInst,
+                                            std::vector<TraceIdx> &Out) const {
+  for (TraceIdx A = Trace.step(UseInst).CdParent; A != InvalidId;
+       A = Trace.step(A).CdParent)
+    Out.push_back(A);
+}
+
+std::vector<TraceIdx>
+PotentialDepAnalyzer::compute(TraceIdx UseInst, const UseRecord &Use,
+                              bool OnePerPredicate) const {
+  std::vector<TraceIdx> Result;
+  if (!isValidId(Use.Var))
+    return Result; // Return-value reads have no location class.
+
+  // Condition (iii): only predicates after the reaching definition. When
+  // the location was never written the "definition" is program start.
+  TraceIdx Lo = isValidId(Use.Def) ? Use.Def : 0;
+
+  std::vector<TraceIdx> Ancestors;
+  collectAncestors(UseInst, Ancestors);
+
+  for (const CandidatePred &C : candidates(Use.Var, Use.LoadExpr)) {
+    auto It = PredInstances.find(C.Pred);
+    if (It == PredInstances.end())
+      continue;
+    const std::vector<TraceIdx> &Insts = It->second;
+    // Instances strictly between the reaching def and the use.
+    auto Begin = std::upper_bound(Insts.begin(), Insts.end(), Lo);
+    auto End = std::lower_bound(Begin, Insts.end(), UseInst);
+    // Walk closest-first so OnePerPredicate keeps the nearest instance.
+    for (auto Rev = End; Rev != Begin;) {
+      --Rev;
+      TraceIdx P = *Rev;
+      // Condition (iv): a def must sit on the branch p did NOT take.
+      bool Taken = Trace.step(P).branch();
+      if (!(Taken ? C.DefsOnFalse : C.DefsOnTrue))
+        continue;
+      // Condition (ii): u must not be control dependent on p.
+      if (std::find(Ancestors.begin(), Ancestors.end(), P) != Ancestors.end())
+        continue;
+      Result.push_back(P);
+      if (OnePerPredicate)
+        break;
+    }
+  }
+  std::sort(Result.begin(), Result.end(), std::greater<TraceIdx>());
+  return Result;
+}
+
+bool PotentialDepAnalyzer::isPotentialDep(TraceIdx PredInst, TraceIdx UseInst,
+                                          const UseRecord &Use) const {
+  if (!isValidId(Use.Var))
+    return false;
+  const StepRecord &P = Trace.step(PredInst);
+  if (!P.isPredicateInstance() || PredInst >= UseInst)
+    return false;
+  TraceIdx Lo = isValidId(Use.Def) ? Use.Def : 0;
+  if (PredInst <= Lo && isValidId(Use.Def))
+    return false;
+  for (TraceIdx A = Trace.step(UseInst).CdParent; A != InvalidId;
+       A = Trace.step(A).CdParent)
+    if (A == PredInst)
+      return false;
+  for (const CandidatePred &C : candidates(Use.Var, Use.LoadExpr)) {
+    if (C.Pred != P.Stmt)
+      continue;
+    return P.branch() ? C.DefsOnFalse : C.DefsOnTrue;
+  }
+  return false;
+}

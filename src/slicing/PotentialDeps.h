@@ -1,0 +1,101 @@
+//===-- slicing/PotentialDeps.h - Potential dependences ----------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Potential dependences (the paper's Definition 1, from relevant slicing
+/// [Gyimothy et al. 99]): a use u potentially depends on predicate
+/// instance p iff
+///   (i)   p executes before u,
+///   (ii)  u is not (dynamically, transitively) control dependent on p,
+///   (iii) the definition reaching u occurs before p, and
+///   (iv)  a different definition could potentially reach u if p had
+///         taken the other branch.
+///
+/// Condition (iv) is a static question and is where conservatism enters.
+/// Two backends are provided, matching the paper's prototype which built
+/// a *union dependence graph* over many test runs:
+///  - Static: some statement defining a may-alias of u's location lies in
+///    the code guarded by the not-taken outcome and may reach u's
+///    statement (pure static reaching-definitions reasoning);
+///  - UnionGraph: additionally requires that some profiled run actually
+///    carried a value from that defining statement to u's load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_POTENTIALDEPS_H
+#define EOE_SLICING_POTENTIALDEPS_H
+
+#include "analysis/StaticAnalysis.h"
+#include "interp/Profiler.h"
+#include "interp/Trace.h"
+
+#include <map>
+#include <vector>
+
+namespace eoe {
+namespace slicing {
+
+/// Computes PD(u) sets over one execution trace.
+class PotentialDepAnalyzer {
+public:
+  enum class Backend { Static, UnionGraph };
+
+  /// \p Union may be null for the Static backend.
+  PotentialDepAnalyzer(const analysis::StaticAnalysis &SA,
+                       const interp::ExecutionTrace &Trace,
+                       Backend B = Backend::Static,
+                       const interp::UnionDependenceGraph *Union = nullptr);
+
+  /// Returns the predicate instances that use \p Use of instance
+  /// \p UseInst potentially depends on, ordered closest-first (descending
+  /// trace index). With \p OnePerPredicate only the closest instance of
+  /// each static predicate is returned -- the demand-driven verifier's
+  /// candidate set; relevant slicing passes false to get the full set.
+  std::vector<TraceIdx> compute(TraceIdx UseInst,
+                                const interp::UseRecord &Use,
+                                bool OnePerPredicate) const;
+
+  /// True if predicate instance \p PredInst is in PD of the given use.
+  bool isPotentialDep(TraceIdx PredInst, TraceIdx UseInst,
+                      const interp::UseRecord &Use) const;
+
+  Backend backend() const { return B; }
+
+private:
+  struct CandidatePred {
+    StmtId Pred;
+    /// Whether the true/false side's region contains a qualifying def.
+    bool DefsOnTrue = false;
+    bool DefsOnFalse = false;
+  };
+
+  /// Candidate static predicates for a location class (and, under the
+  /// union backend, a specific load); memoized.
+  const std::vector<CandidatePred> &candidates(VarId Var,
+                                               ExprId LoadExpr) const;
+
+  /// Collects u's transitive dynamic control-dependence ancestors.
+  void collectAncestors(TraceIdx UseInst, std::vector<TraceIdx> &Out) const;
+
+  const analysis::StaticAnalysis &SA;
+  const interp::ExecutionTrace &Trace;
+  Backend B;
+  const interp::UnionDependenceGraph *Union;
+
+  /// All predicate statements of the program.
+  std::vector<StmtId> PredStmts;
+  /// Instances per predicate statement, ascending.
+  std::map<StmtId, std::vector<TraceIdx>> PredInstances;
+  /// Memoized candidate sets; key ExprId is InvalidId for Static backend.
+  mutable std::map<std::pair<VarId, ExprId>, std::vector<CandidatePred>>
+      CandidateCache;
+};
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_POTENTIALDEPS_H

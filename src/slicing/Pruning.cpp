@@ -1,0 +1,47 @@
+//===-- slicing/Pruning.cpp - Interactive slice pruning -----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/Pruning.h"
+
+using namespace eoe;
+using namespace eoe::slicing;
+
+std::vector<TraceIdx> eoe::slicing::pruneSlicing(ConfidenceAnalysis &CA,
+                                                 Oracle &O,
+                                                 PruneState &State) {
+  const interp::ExecutionTrace &T = CA.trace();
+  while (true) {
+    CA.recompute(State.BenignMarks, State.KnownCorrupted);
+    const std::vector<TraceIdx> &Ranked = CA.prunedSlice();
+
+    // The session ends as soon as the programmer recognizes the root
+    // cause among the presented candidates.
+    for (TraceIdx I : Ranked)
+      if (O.isRootCause(T.step(I).Stmt))
+        return Ranked;
+
+    TraceIdx Next = InvalidId;
+    for (TraceIdx I : Ranked) {
+      if (State.KnownCorrupted.count(I))
+        continue;
+      Next = I;
+      break;
+    }
+    if (Next == InvalidId)
+      return Ranked; // Everything left is known corrupted: minimal slice.
+
+    if (O.isBenign(Next)) {
+      State.BenignMarks.push_back(Next);
+      // One user interaction covers a statement; later instances of the
+      // same statement are vouched for by the same act of understanding.
+      if (State.BenignStmts.insert(T.step(Next).Stmt).second)
+        ++State.UserPrunings;
+      continue; // Benign feedback enables more automatic pruning.
+    }
+    State.KnownCorrupted.insert(Next);
+  }
+}

@@ -1,0 +1,68 @@
+//===-- slicing/Pruning.h - Interactive slice pruning ------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interactive PruneSlicing() procedure of the paper's Algorithm 2:
+/// the system presents fault-candidate instances in rank order and the
+/// programmer (an Oracle here) declares each benign or corrupted; benign
+/// answers feed back into the confidence analysis until every remaining
+/// instance is known corrupted -- the minimal pruned slice.
+///
+/// The experiment driver implements the Oracle with the paper's own
+/// evaluation protocol: instances outside the manually-identified
+/// failure-inducing chain (OS) are benign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_PRUNING_H
+#define EOE_SLICING_PRUNING_H
+
+#include "slicing/Confidence.h"
+
+#include <set>
+#include <vector>
+
+namespace eoe {
+namespace slicing {
+
+/// The programmer in the loop.
+class Oracle {
+public:
+  virtual ~Oracle() = default;
+
+  /// True if the program state produced by instance \p I is correct.
+  virtual bool isBenign(TraceIdx I) = 0;
+
+  /// True if statement \p S is the fault's root cause. Drives Algorithm
+  /// 2's "while the root cause is not found".
+  virtual bool isRootCause(StmtId S) = 0;
+};
+
+/// State carried across pruning rounds (oracle answers are remembered so
+/// re-pruning after slice expansion does not re-ask).
+struct PruneState {
+  std::vector<TraceIdx> BenignMarks;
+  std::set<TraceIdx> KnownCorrupted;
+  /// Statements the user has vouched for (a user interaction reasons at
+  /// statement granularity even though marks apply per instance).
+  std::set<StmtId> BenignStmts;
+  /// Number of distinct statements declared benign (Table 3's
+  /// "# of user prunings"; see EXPERIMENTS.md on granularity).
+  size_t UserPrunings = 0;
+};
+
+/// Runs one interactive pruning session: recomputes confidences, asks the
+/// oracle about unresolved candidates in rank order, and stops when every
+/// remaining candidate is known corrupted. Returns the minimal pruned
+/// slice, most suspicious first.
+std::vector<TraceIdx> pruneSlicing(ConfidenceAnalysis &CA, Oracle &O,
+                                   PruneState &State);
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_PRUNING_H

@@ -1,0 +1,48 @@
+//===-- slicing/RelevantSlicer.h - Relevant slicing --------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relevant slicing (Gyimothy et al., the paper's RS baseline): the
+/// backward closure over dynamic data/control dependences *plus* every
+/// potential dependence edge. Always captures execution omission errors,
+/// at the cost of slices that the paper shows are orders of magnitude
+/// larger dynamically than classic dynamic slices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SLICING_RELEVANTSLICER_H
+#define EOE_SLICING_RELEVANTSLICER_H
+
+#include "ddg/DepGraph.h"
+#include "slicing/DynamicSlicer.h"
+#include "slicing/PotentialDeps.h"
+
+namespace eoe {
+namespace slicing {
+
+/// A relevant slice, with the number of potential-dependence edges the
+/// closure traversed (a measure of the conservatism relevant slicing
+/// pays; reported by the Table 2 bench).
+struct RelevantSliceResult {
+  SliceResult Slice;
+  size_t PotentialEdges = 0;
+};
+
+/// Computes the relevant slice of instance \p Seed.
+RelevantSliceResult computeRelevantSlice(const ddg::DepGraph &G,
+                                         const PotentialDepAnalyzer &PD,
+                                         TraceIdx Seed);
+
+/// Computes the relevant slice of the wrong output of \p V.
+RelevantSliceResult relevantSliceOfWrongOutput(const ddg::DepGraph &G,
+                                               const PotentialDepAnalyzer &PD,
+                                               const OutputVerdicts &V);
+
+} // namespace slicing
+} // namespace eoe
+
+#endif // EOE_SLICING_RELEVANTSLICER_H

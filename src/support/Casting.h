@@ -1,0 +1,51 @@
+//===-- support/Casting.h - isa/cast/dyn_cast helpers ------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style checked casting without RTTI. Classes opt in by providing a
+/// static classof(const Base *) predicate, typically backed by a Kind tag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_CASTING_H
+#define EOE_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace eoe {
+
+/// Returns true if \p V is an instance of To. \p V must be non-null.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+/// Checked downcast (const); asserts that \p V really is a To.
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Downcast returning nullptr when \p V is not a To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+/// Downcast returning nullptr when \p V is not a To (const).
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_CASTING_H

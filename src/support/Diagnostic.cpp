@@ -1,0 +1,41 @@
+//===-- support/Diagnostic.cpp - Source diagnostics -----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include <sstream>
+
+using namespace eoe;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << D.Loc.Line << ':' << D.Loc.Col << ": ";
+    switch (D.Severity) {
+    case DiagSeverity::Error:
+      OS << "error: ";
+      break;
+    case DiagSeverity::Warning:
+      OS << "warning: ";
+      break;
+    case DiagSeverity::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << '\n';
+  }
+  return OS.str();
+}

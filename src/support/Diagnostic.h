@@ -1,0 +1,70 @@
+//===-- support/Diagnostic.h - Source diagnostics ----------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and the diagnostic sink used by the Siml frontend.
+///
+/// EOE libraries do not use exceptions; fallible frontend stages append
+/// diagnostics to a DiagnosticEngine and callers check hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_DIAGNOSTIC_H
+#define EOE_SUPPORT_DIAGNOSTIC_H
+
+#include <string>
+#include <vector>
+
+namespace eoe {
+
+/// A 1-based line/column position in a Siml source buffer.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &Other) const = default;
+};
+
+/// Severity of a diagnostic. Errors make the producing stage fail.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One diagnostic message anchored at a source location.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted by the lexer, parser, and semantic checker.
+class DiagnosticEngine {
+public:
+  /// Appends an error at \p Loc with message \p Message.
+  void error(SourceLoc Loc, std::string Message);
+
+  /// Appends a warning at \p Loc with message \p Message.
+  void warning(SourceLoc Loc, std::string Message);
+
+  /// Returns true if at least one error was reported.
+  bool hasErrors() const { return NumErrors != 0; }
+
+  /// Returns the number of errors reported so far.
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: severity: message" lines.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_DIAGNOSTIC_H

@@ -1,0 +1,49 @@
+//===-- support/Ids.h - Common identifier types ------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain integral identifier types shared by every EOE library.
+///
+/// All program entities are referred to by dense indices into registries
+/// owned by lang::Program (statements, expressions, variables, functions)
+/// or by a trace (statement instances). Dense ids keep the dynamic
+/// dependence graph and the interpreter's shadow state vector-indexed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_IDS_H
+#define EOE_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace eoe {
+
+/// Index of a statement in lang::Program::statements().
+using StmtId = uint32_t;
+
+/// Index of an expression node in lang::Program::expressions().
+using ExprId = uint32_t;
+
+/// Index of a variable in lang::Program::variables().
+using VarId = uint32_t;
+
+/// Index of a function in lang::Program::functions().
+using FuncId = uint32_t;
+
+/// Index of a statement instance in an interp::ExecutionTrace.
+using TraceIdx = uint32_t;
+
+/// Sentinel for "no entity" across all of the id types above.
+inline constexpr uint32_t InvalidId = std::numeric_limits<uint32_t>::max();
+
+/// Returns true if \p Id is a real entity id (not the sentinel).
+inline bool isValidId(uint32_t Id) { return Id != InvalidId; }
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_IDS_H

@@ -1,0 +1,59 @@
+//===-- support/RNG.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny splitmix64-based RNG so workload inputs and property tests are
+/// reproducible across platforms (std::mt19937 distributions are not
+/// guaranteed identical across standard library implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_RNG_H
+#define EOE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace eoe {
+
+/// Deterministic 64-bit RNG (splitmix64).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniform in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_RNG_H

@@ -1,0 +1,84 @@
+//===-- support/StringUtils.cpp - Small string helpers --------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace eoe;
+
+std::vector<std::string> eoe::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = Text.find(Sep, Begin);
+    if (End == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Begin));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+std::string_view eoe::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string eoe::joinStrings(const std::vector<std::string> &Parts,
+                             std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string eoe::formatDouble(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  std::string S(Buf);
+  if (S.find('.') == std::string::npos)
+    return S;
+  size_t Last = S.find_last_not_of('0');
+  if (S[Last] == '.')
+    --Last;
+  S.erase(Last + 1);
+  return S;
+}
+
+std::vector<int64_t> eoe::encodeString(std::string_view Text) {
+  std::vector<int64_t> Out;
+  Out.reserve(Text.size());
+  for (char C : Text)
+    Out.push_back(static_cast<unsigned char>(C));
+  return Out;
+}
+
+std::string eoe::decodeString(const std::vector<int64_t> &Codes) {
+  std::string Out;
+  for (int64_t V : Codes) {
+    if (V >= 32 && V <= 126) {
+      Out += static_cast<char>(V);
+      continue;
+    }
+    char Buf[8];
+    std::snprintf(Buf, sizeof(Buf), "\\x%02x", static_cast<unsigned>(V & 0xff));
+    Out += Buf;
+  }
+  return Out;
+}

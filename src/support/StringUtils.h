@@ -1,0 +1,48 @@
+//===-- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the frontend, the table printers, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_STRINGUTILS_H
+#define EOE_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eoe {
+
+/// Splits \p Text on \p Sep; empty fields are preserved.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Strips ASCII whitespace from both ends of \p Text.
+std::string_view trim(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Formats \p Value with at most \p Digits fractional digits, trimming
+/// trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string formatDouble(double Value, int Digits);
+
+/// Converts the ASCII string \p Text into its character codes, one int64
+/// per character. Used to feed textual inputs to Siml programs, whose only
+/// value type is int64.
+std::vector<int64_t> encodeString(std::string_view Text);
+
+/// Inverse of encodeString for values in the printable range; values
+/// outside [32, 126] are rendered as "\xNN".
+std::string decodeString(const std::vector<int64_t> &Codes);
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,51 @@
+//===-- support/Table.cpp - ASCII table rendering --------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace eoe;
+
+Table::Table(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Line += "| ";
+      Line += Row[C];
+      Line += std::string(Widths[C] - Row[C].size() + 1, ' ');
+    }
+    Line += "|\n";
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  std::string Sep;
+  for (size_t C = 0; C < Header.size(); ++C) {
+    Sep += '|';
+    Sep += std::string(Widths[C] + 2, '-');
+  }
+  Sep += "|\n";
+  Out += Sep;
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===-- support/Table.h - ASCII table rendering ------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width ASCII table rendering used by every bench binary to print
+/// paper-style rows (Tables 1-4) next to our measured values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_TABLE_H
+#define EOE_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace eoe {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  /// Creates a table whose header row is \p Header.
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the header, a separator, and all rows.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_TABLE_H

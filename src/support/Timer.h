@@ -1,0 +1,41 @@
+//===-- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal monotonic wall-clock timer used by the Table 4 performance
+/// harness to time plain execution, graph construction, and verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_TIMER_H
+#define EOE_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace eoe {
+
+/// Measures elapsed wall time from construction (or the last reset()).
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace eoe
+
+#endif // EOE_SUPPORT_TIMER_H

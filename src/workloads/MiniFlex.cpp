@@ -1,0 +1,192 @@
+//===-- workloads/MiniFlex.cpp - Table-driven scanner benchmark ---------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// mini-flex: a table-driven scanner shaped like flex-generated code: a
+/// character-class function, a DFA transition table built at startup from
+/// option flags, maximal-munch scanning, beginning-of-line (directive)
+/// handling, and trailer statistics. Five of the paper's nine faults are
+/// seeded into its table construction and bookkeeping.
+///
+/// Input:  opt_comments, opt_directives, opt_lines, opt_stats, nrules,
+///         then the text, -1 terminated.
+/// Output: (code, length) per token, then tok/nl/ident/directive counts.
+/// Token codes: 1 ident, 2 number, 3 blanks, 4 newline (not printed),
+/// 5 operator, 6 comment, 7 directive, 9 unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *eoe::workloads::miniFlexSource() {
+  return R"siml(
+// mini-flex: table-driven scanner in the style of flex-generated code.
+var trans[256];
+var accept[32];
+var buf[512];
+var buflen = 0;
+var nl_count = 0;
+var tok_count = 0;
+var ident_count = 0;
+var directive_count = 0;
+var at_bol = 1;
+var enable_comments = 0;
+var track_bol = 0;
+var count_lines = 0;
+var count_idents = 0;
+
+fn char_class(c) {
+  if (c >= 'a' && c <= 'z') {
+    return 1;
+  }
+  if (c >= 'A' && c <= 'Z') {
+    return 1;
+  }
+  if (c >= '0' && c <= '9') {
+    return 2;
+  }
+  if (c == ' ') {
+    return 3;
+  }
+  if (c == 9) {
+    return 3;
+  }
+  if (c == 10) {
+    return 4;
+  }
+  if (c == '+' || c == '-' || c == '*' || c == '/') {
+    return 5;
+  }
+  if (c == '#') {
+    return 6;
+  }
+  return 7;
+}
+
+fn set_trans(s, cls, t) {
+  trans[s * 8 + cls] = t;
+  return t;
+}
+
+fn build_tables(opt_comments, opt_directives, opt_lines, opt_stats, nrules) {
+  set_trans(0, 1, 1);
+  set_trans(1, 1, 1);
+  set_trans(1, 2, 1);
+  accept[1] = 1;
+  set_trans(0, 2, 2);
+  set_trans(2, 2, 2);
+  accept[2] = 2;
+  set_trans(0, 3, 3);
+  set_trans(3, 3, 3);
+  accept[3] = 3;
+  set_trans(0, 4, 4);
+  accept[4] = 4;
+  set_trans(0, 5, 5);
+  if (nrules > 5) {
+    accept[5] = 5;
+  }
+  enable_comments = opt_comments > 0;
+  if (enable_comments) {
+    set_trans(0, 6, 6);
+    set_trans(6, 1, 6);
+    set_trans(6, 2, 6);
+    set_trans(6, 3, 6);
+    set_trans(6, 5, 6);
+    set_trans(6, 6, 6);
+    set_trans(6, 7, 6);
+    accept[6] = 6;
+  }
+  track_bol = opt_directives > 0;
+  count_lines = opt_lines > 0;
+  count_idents = opt_stats > 0;
+  return nrules;
+}
+
+fn read_all() {
+  var c = input();
+  while (c != -1) {
+    if (buflen < 512) {
+      buf[buflen] = c;
+      buflen = buflen + 1;
+    }
+    c = input();
+  }
+  return buflen;
+}
+
+fn emit_token(tok, len) {
+  if (tok == 4) {
+    if (count_lines) {
+      nl_count = nl_count + 1;
+    }
+    return 0;
+  }
+  print(tok);
+  print(len);
+  tok_count = tok_count + 1;
+  if (tok == 1) {
+    if (count_idents) {
+      ident_count = ident_count + 1;
+    }
+  }
+  return 1;
+}
+
+fn scan() {
+  var pos = 0;
+  while (pos < buflen) {
+    var state = 0;
+    var len = 0;
+    while (pos + len < buflen) {
+      var cls = char_class(buf[pos + len]);
+      var next = trans[state * 8 + cls];
+      if (next == 0) {
+        break;
+      }
+      state = next;
+      len = len + 1;
+    }
+    if (len == 0) {
+      emit_token(9, 1);
+      at_bol = 0;
+      pos = pos + 1;
+      continue;
+    }
+    var tok = accept[state];
+    if (tok == 6 && at_bol) {
+      directive_count = directive_count + 1;
+      tok = 7;
+    }
+    emit_token(tok, len);
+    if (tok == 4) {
+      if (track_bol) {
+        at_bol = 1;
+      }
+    } else {
+      at_bol = 0;
+    }
+    pos = pos + len;
+  }
+  return tok_count;
+}
+
+fn main() {
+  var opt_comments = input();
+  var opt_directives = input();
+  var opt_lines = input();
+  var opt_stats = input();
+  var nrules = input();
+  build_tables(opt_comments, opt_directives, opt_lines, opt_stats, nrules);
+  read_all();
+  scan();
+  print(tok_count);
+  print(nl_count);
+  print(ident_count);
+  print(directive_count);
+  return 0;
+}
+)siml";
+}

@@ -1,0 +1,151 @@
+//===-- workloads/MiniGrep.cpp - Pattern matcher benchmark --------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// mini-grep: a line matcher with a Kernighan-Pike regular expression
+/// core ('.' wildcard, '*' closure, '^' anchor) and a -i (caseless) flag.
+/// Like the real grep, it emits nothing until the end, so a corrupted
+/// match set propagates a long way before becoming observable -- the
+/// paper's hardest case (grep V4-F2).
+///
+/// Input:  opt_i, pattern codes 0-terminated, then the text (lines
+///         separated by '\n'), -1 terminated.
+/// Output: the line number of every match, then the match count, then
+///         the line count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *eoe::workloads::miniGrepSource() {
+  return R"siml(
+// mini-grep: regular-expression line matcher.
+var pattern[64];
+var plen = 0;
+var line[256];
+var llen = 0;
+var matches[128];
+var nmatches = 0;
+var caseless = 0;
+var anchored = 0;
+var pstart = 0;
+var total_lines = 0;
+
+fn to_lower(c) {
+  if (c >= 'A' && c <= 'Z') {
+    return c + 32;
+  }
+  return c;
+}
+
+fn char_eq(c, p) {
+  if (p == '.') {
+    return 1;
+  }
+  if (caseless) {
+    return to_lower(c) == to_lower(p);
+  }
+  return c == p;
+}
+
+fn match_star(p, li, pi) {
+  var i = li;
+  while (1) {
+    if (match_here(i, pi)) {
+      return 1;
+    }
+    if (i >= llen) {
+      return 0;
+    }
+    if (char_eq(line[i], p) == 0) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn match_here(li, pi) {
+  if (pi >= plen) {
+    return 1;
+  }
+  if (pi + 1 < plen && pattern[pi + 1] == '*') {
+    return match_star(pattern[pi], li, pi + 2);
+  }
+  if (li < llen && char_eq(line[li], pattern[pi])) {
+    return match_here(li + 1, pi + 1);
+  }
+  return 0;
+}
+
+fn match_line() {
+  if (anchored) {
+    return match_here(0, pstart);
+  }
+  var i = 0;
+  while (i <= llen) {
+    if (match_here(i, pstart)) {
+      return 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn read_pattern() {
+  var c = input();
+  while (c != 0 && c != -1) {
+    if (plen < 64) {
+      pattern[plen] = c;
+      plen = plen + 1;
+    }
+    c = input();
+  }
+  if (plen > 0 && pattern[0] == '^') {
+    anchored = 1;
+    pstart = 1;
+  }
+  return plen;
+}
+
+fn main() {
+  var opt_i = input();
+  if (opt_i == 1) {
+    caseless = 1;
+  }
+  read_pattern();
+  var c = input();
+  while (c != -1) {
+    llen = 0;
+    while (c != 10 && c != -1) {
+      if (llen < 256) {
+        line[llen] = c;
+        llen = llen + 1;
+      }
+      c = input();
+    }
+    total_lines = total_lines + 1;
+    if (match_line()) {
+      if (nmatches < 128) {
+        matches[nmatches] = total_lines;
+        nmatches = nmatches + 1;
+      }
+    }
+    if (c == 10) {
+      c = input();
+    }
+  }
+  var i = 0;
+  while (i < nmatches) {
+    print(matches[i]);
+    i = i + 1;
+  }
+  print(nmatches);
+  print(total_lines);
+  return 0;
+}
+)siml";
+}

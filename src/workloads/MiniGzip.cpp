@@ -1,0 +1,137 @@
+//===-- workloads/MiniGzip.cpp - LZ77 compressor benchmark --------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// mini-gzip: an LZ77 compressor with a gzip-style header and trailer,
+/// miniaturizing the code paths of the paper's Figure 1 (the real gzip's
+/// save_orig_name / flags / outbuf interplay).
+///
+/// Input:  opt_name, name_len, then the bytes to compress, -1 terminated.
+/// Output: the bytes of the compressed stream (header, tokens, trailer).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *eoe::workloads::miniGzipSource() {
+  return R"siml(
+// mini-gzip: LZ77 compressor with gzip-style header and trailer.
+var inbuf[512];
+var inlen = 0;
+var outbuf[2048];
+var outcnt = 0;
+var flags = 0;
+var crc = 0;
+var save_orig_name = 0;
+
+fn read_all() {
+  var v = input();
+  while (v != -1) {
+    if (inlen < 512) {
+      inbuf[inlen] = v;
+      inlen = inlen + 1;
+    }
+    v = input();
+  }
+  return inlen;
+}
+
+fn emit(b) {
+  if (outcnt < 2048) {
+    outbuf[outcnt] = b;
+    outcnt = outcnt + 1;
+  }
+  return outcnt;
+}
+
+fn update_crc(b) {
+  crc = (crc * 31 + b) % 65521;
+  return crc;
+}
+
+fn longest_match(pos) {
+  var best_len = 0;
+  var best_dist = 0;
+  var start = pos - 32;
+  if (start < 0) {
+    start = 0;
+  }
+  var j = start;
+  while (j < pos) {
+    var len = 0;
+    while (pos + len < inlen && len < 10 && inbuf[j + len] == inbuf[pos + len]) {
+      len = len + 1;
+    }
+    if (len > best_len) {
+      best_len = len;
+      best_dist = pos - j;
+    }
+    j = j + 1;
+  }
+  return best_len * 64 + best_dist;
+}
+
+fn deflate() {
+  var pos = 0;
+  while (pos < inlen) {
+    var m = longest_match(pos);
+    var len = m / 64;
+    var dist = m % 64;
+    if (len >= 3) {
+      emit(200 + len);
+      emit(dist);
+      var k = 0;
+      while (k < len) {
+        update_crc(inbuf[pos + k]);
+        k = k + 1;
+      }
+      pos = pos + len;
+    } else {
+      emit(inbuf[pos]);
+      update_crc(inbuf[pos]);
+      pos = pos + 1;
+    }
+  }
+  return outcnt;
+}
+
+fn write_header(opt_name, name_len) {
+  emit(31);
+  emit(139);
+  emit(8);
+  save_orig_name = opt_name && name_len > 0;
+  if (save_orig_name) {
+    flags = flags + 8;
+  }
+  emit(flags);
+  if (save_orig_name) {
+    var n = 0;
+    while (n < name_len) {
+      emit(65 + n % 26);
+      n = n + 1;
+    }
+    emit(0);
+  }
+  return outcnt;
+}
+
+fn main() {
+  var opt_name = input();
+  var name_len = input();
+  read_all();
+  write_header(opt_name, name_len);
+  deflate();
+  emit(crc % 256);
+  emit(inlen % 256);
+  var i = 0;
+  while (i < outcnt) {
+    print(outbuf[i]);
+    i = i + 1;
+  }
+  return 0;
+}
+)siml";
+}

@@ -1,0 +1,167 @@
+//===-- workloads/MiniSed.cpp - Stream editor benchmark -----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// mini-sed: a stream editor applying s/old/new/ to its input lines, with
+/// a global (g) flag and a line-scope option (substitute on every line vs
+/// only the first). Its two faults include the paper's sed V3-F2 shape:
+/// the root cause hides behind a *chain* of omitted branches, so locating
+/// it needs more than one slice expansion.
+///
+/// Input:  gflag, opt_all, old codes 0-terminated, new codes
+///         0-terminated, then the text lines, -1 terminated.
+/// Output: every edited line's characters (then '\n'), then the
+///         substitution count and the line count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *eoe::workloads::miniSedSource() {
+  return R"siml(
+// mini-sed: stream editor for s/old/new/ substitutions.
+var old[32];
+var oldlen = 0;
+var repl[32];
+var repllen = 0;
+var line[256];
+var llen = 0;
+var out[512];
+var outlen = 0;
+var global = 0;
+var scope_all = 0;
+var nsubs = 0;
+var nlines = 0;
+
+fn read_old() {
+  var c = input();
+  while (c != 0 && c != -1) {
+    if (oldlen < 32) {
+      old[oldlen] = c;
+      oldlen = oldlen + 1;
+    }
+    c = input();
+  }
+  return oldlen;
+}
+
+fn read_repl() {
+  var c = input();
+  while (c != 0 && c != -1) {
+    if (repllen < 32) {
+      repl[repllen] = c;
+      repllen = repllen + 1;
+    }
+    c = input();
+  }
+  return repllen;
+}
+
+fn match_at(i) {
+  var k = 0;
+  while (k < oldlen) {
+    if (i + k >= llen) {
+      return 0;
+    }
+    if (line[i + k] != old[k]) {
+      return 0;
+    }
+    k = k + 1;
+  }
+  return 1;
+}
+
+fn append_out(c) {
+  if (outlen < 512) {
+    out[outlen] = c;
+    outlen = outlen + 1;
+  }
+  return outlen;
+}
+
+fn substitute() {
+  outlen = 0;
+  var i = 0;
+  var done = 0;
+  while (i < llen) {
+    var m = 0;
+    if (done == 0) {
+      m = match_at(i);
+    }
+    if (m) {
+      var k = 0;
+      while (k < repllen) {
+        append_out(repl[k]);
+        k = k + 1;
+      }
+      nsubs = nsubs + 1;
+      i = i + oldlen;
+      if (global == 0) {
+        done = 1;
+      }
+    } else {
+      append_out(line[i]);
+      i = i + 1;
+    }
+  }
+  return outlen;
+}
+
+fn copy_line() {
+  outlen = 0;
+  var t = 0;
+  while (t < llen) {
+    append_out(line[t]);
+    t = t + 1;
+  }
+  return outlen;
+}
+
+fn main() {
+  var gflag = input();
+  var opt_all = input();
+  if (gflag > 0) {
+    global = 1;
+  }
+  scope_all = opt_all > 0;
+  read_old();
+  read_repl();
+  var c = input();
+  while (c != -1) {
+    llen = 0;
+    while (c != 10 && c != -1) {
+      if (llen < 256) {
+        line[llen] = c;
+        llen = llen + 1;
+      }
+      c = input();
+    }
+    nlines = nlines + 1;
+    var do_sub = 0;
+    if (scope_all || nlines == 1) {
+      do_sub = 1;
+    }
+    if (do_sub) {
+      substitute();
+    } else {
+      copy_line();
+    }
+    var j = 0;
+    while (j < outlen) {
+      print(out[j]);
+      j = j + 1;
+    }
+    print(10);
+    if (c == 10) {
+      c = input();
+    }
+  }
+  print(nsubs);
+  print(nlines);
+  return 0;
+}
+)siml";
+}

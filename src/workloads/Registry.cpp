@@ -1,0 +1,218 @@
+//===-- workloads/Registry.cpp - Fault registry -------------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace eoe;
+using namespace eoe::workloads;
+
+std::vector<int64_t> eoe::workloads::makeInput(std::vector<int64_t> Prefix,
+                                               std::string_view Text) {
+  for (char C : Text)
+    Prefix.push_back(static_cast<unsigned char>(C));
+  Prefix.push_back(-1);
+  return Prefix;
+}
+
+namespace {
+
+/// Appends the character codes of \p Text to \p V (no terminator).
+void appendCodes(std::vector<int64_t> &V, std::string_view Text) {
+  for (char C : Text)
+    V.push_back(static_cast<unsigned char>(C));
+}
+
+/// Builds a grep input: opt_i, pattern, 0, text, -1.
+std::vector<int64_t> grepInput(int64_t OptI, std::string_view Pattern,
+                               std::string_view Text) {
+  std::vector<int64_t> V{OptI};
+  appendCodes(V, Pattern);
+  V.push_back(0);
+  appendCodes(V, Text);
+  V.push_back(-1);
+  return V;
+}
+
+/// Builds a sed input: gflag, opt_all, old, 0, new, 0, text, -1.
+std::vector<int64_t> sedInput(int64_t GFlag, int64_t OptAll,
+                              std::string_view Old, std::string_view New,
+                              std::string_view Text) {
+  std::vector<int64_t> V{GFlag, OptAll};
+  appendCodes(V, Old);
+  V.push_back(0);
+  appendCodes(V, New);
+  V.push_back(0);
+  appendCodes(V, Text);
+  V.push_back(-1);
+  return V;
+}
+
+/// Replaces the unique occurrence of \p From in \p Base with \p To and
+/// reports the 1-based line of the mutation.
+std::string mutate(const char *Base, const char *From, const char *To,
+                   uint32_t &Line) {
+  std::string Source(Base);
+  size_t Pos = Source.find(From);
+  assert(Pos != std::string::npos && "fault anchor not found");
+  assert(Source.find(From, Pos + 1) == std::string::npos &&
+         "fault anchor is ambiguous");
+  Line = 1;
+  for (size_t I = 0; I < Pos; ++I)
+    if (Source[I] == '\n')
+      ++Line;
+  Source.replace(Pos, std::strlen(From), To);
+  return Source;
+}
+
+FaultInfo makeFault(const char *Id, const char *Bench, const char *Desc,
+                    const char *Base, const char *From, const char *To,
+                    std::vector<int64_t> FailingInput,
+                    std::vector<std::vector<int64_t>> Suite) {
+  FaultInfo F;
+  F.Id = Id;
+  F.BenchmarkName = Bench;
+  F.Description = Desc;
+  F.FixedSource = Base;
+  F.FaultySource = mutate(Base, From, To, F.RootCauseLine);
+  F.FailingInput = std::move(FailingInput);
+  F.TestSuite = std::move(Suite);
+  return F;
+}
+
+std::vector<FaultInfo> buildFaults() {
+  std::vector<FaultInfo> Out;
+  const char *Gzip = miniGzipSource();
+  const char *Grep = miniGrepSource();
+  const char *Flex = miniFlexSource();
+  const char *Sed = miniSedSource();
+
+  // The common flex text: comments mid-line (line 1), plain tokens
+  // (line 2), and a directive at the start of line 3.
+  const char *FlexText = "ab 12 + #cc\nx9 - y\n#dir 5\n";
+  const char *FlexSmall = "ab + 12\n";
+  std::vector<std::vector<int64_t>> FlexSuite = {
+      makeInput({1, 1, 1, 1, 6}, "abc def 123\n# full line\n"),
+      makeInput({3, 3, -1, 2, 7}, "a+b\n#z\n"),
+      makeInput({0, 0, 0, 0, 3}, "12 34"),
+  };
+
+  Out.push_back(makeFault(
+      "flex-v1-f9", "flex",
+      "comment rules never enter the DFA table: '#' scans as an unknown "
+      "character instead of a comment token",
+      Flex, "enable_comments = opt_comments > 0;",
+      "enable_comments = opt_comments > 2;",
+      makeInput({1, 1, 1, 1, 6}, FlexText), FlexSuite));
+
+  Out.push_back(makeFault(
+      "flex-v2-f14", "flex",
+      "beginning-of-line tracking is silently disabled, so a directive on "
+      "a later line is tokenized as a plain comment",
+      Flex, "track_bol = opt_directives > 0;",
+      "track_bol = opt_directives > 2;",
+      makeInput({1, 1, 1, 1, 6}, FlexText), FlexSuite));
+
+  Out.push_back(makeFault(
+      "flex-v3-f10", "flex",
+      "line counting is disabled: the newline branch omits the counter "
+      "update and the trailer reports 0 lines",
+      Flex, "count_lines = opt_lines > 0;", "count_lines = opt_lines < 0;",
+      makeInput({1, 1, 1, 1, 6}, FlexSmall), FlexSuite));
+
+  Out.push_back(makeFault(
+      "flex-v4-f6", "flex",
+      "the operator rule's accept entry is never registered, so operator "
+      "tokens are emitted with code 0",
+      Flex, "if (nrules > 5) {", "if (nrules > 6) {",
+      makeInput({1, 1, 1, 1, 6}, FlexSmall), FlexSuite));
+
+  Out.push_back(makeFault(
+      "flex-v5-f6", "flex",
+      "identifier statistics are disabled: the trailer's ident count "
+      "stays 0",
+      Flex, "count_idents = opt_stats > 0;", "count_idents = opt_stats > 1;",
+      makeInput({1, 1, 1, 1, 6}, FlexSmall), FlexSuite));
+
+  Out.push_back(makeFault(
+      "grep-v4-f2", "grep",
+      "the -i flag never enables caseless matching; missed matches "
+      "surface only in the final match list and counts",
+      Grep, "if (opt_i == 1) {", "if (opt_i == 2) {",
+      grepInput(1, "ab",
+                "ab\nxABy\nzzz\nAB\nqqabq\nABBA\nnope\nxyzzyAbab\n"
+                "mmmmABmm\nlast ab line"),
+      {grepInput(0, "a.c", "abc\nxxc\naxc"),
+       grepInput(2, "x*y", "xy\nXXy\nzy"),
+       grepInput(0, "^z", "zabc\naz")}));
+
+  Out.push_back(makeFault(
+      "gzip-v2-f3", "gzip",
+      "save_orig_name is computed false, omitting the ORIG_NAME flag and "
+      "the name field from the header (the paper's Figure 1)",
+      Gzip, "save_orig_name = opt_name && name_len > 0;",
+      "save_orig_name = opt_name && name_len > 3;",
+      makeInput({1, 2}, "abcabcabc the quick brown fox abcabc jumps over "
+                        "the lazy dog abcabcabc again and again abc"),
+      {makeInput({1, 5}, "hello world hello"),
+       makeInput({0, 0}, "aaaabbbb"),
+       makeInput({1, 4}, "xyzxyzxyz")}));
+
+  Out.push_back(makeFault(
+      "sed-v3-f2", "sed",
+      "the g flag never enables global substitution; the omission hides "
+      "behind a chain of two predicates (done/global)",
+      Sed, "if (gflag > 0) {", "if (gflag > 9) {",
+      sedInput(1, 1, "ab", "XY",
+               "xxabyyabzz\nqabq\nno hit here\nab at start ab twice\n"
+               "trailing ab"),
+      {sedInput(10, 1, "ab", "XY", "ababab\nqq"),
+       sedInput(0, 1, "no", "NO", "hit no miss"),
+       sedInput(10, 2, "a", "b", "aaa")}));
+
+  Out.push_back(makeFault(
+      "sed-v3-f3", "sed",
+      "the all-lines scope option is ignored, so substitutions after the "
+      "first line are omitted",
+      Sed, "scope_all = opt_all > 0;", "scope_all = opt_all > 1;",
+      sedInput(0, 1, "ab", "XY",
+               "xxabyy\nqqabzz\nmore ab text\nab ab ab\nfinal abba"),
+      {sedInput(0, 2, "ab", "XY", "abq\nqab"),
+       sedInput(1, 2, "a", "b", "aaa\naa"),
+       sedInput(0, 0, "zz", "qq", "zz\nzz")}));
+
+  return Out;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &eoe::workloads::benchmarks() {
+  static const std::vector<BenchmarkInfo> Benchmarks = {
+      {"flex", "a fast lexical analyzer generator (table-driven scanner)",
+       "seeded", miniFlexSource()},
+      {"grep", "a unix utility to print lines matching a pattern",
+       "seeded", miniGrepSource()},
+      {"gzip", "a LZ77 based compressor", "seeded", miniGzipSource()},
+      {"sed", "a stream editor for filtering and transforming text",
+       "real & seeded", miniSedSource()},
+  };
+  return Benchmarks;
+}
+
+const std::vector<FaultInfo> &eoe::workloads::faults() {
+  static const std::vector<FaultInfo> Faults = buildFaults();
+  return Faults;
+}
+
+const FaultInfo *eoe::workloads::findFault(std::string_view Id) {
+  for (const FaultInfo &F : faults())
+    if (F.Id == Id)
+      return &F;
+  return nullptr;
+}

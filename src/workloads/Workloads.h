@@ -1,0 +1,82 @@
+//===-- workloads/Workloads.h - Benchmark programs and faults ----*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation subjects: Siml re-implementations of the relevant cores
+/// of the paper's four Siemens-suite utilities (flex, grep, gzip, sed),
+/// each with seeded *execution omission* faults reproducing the nine
+/// errors of the paper's Tables 2 and 3. Every fault is a single-line
+/// mutation of the reference program whose effect is that a predicate
+/// silently takes the wrong branch, omitting statements whose absence
+/// surfaces as a wrong output value much later.
+///
+/// Faults are registered as (From -> To) line mutations so the faulty and
+/// fixed sources stay line-aligned; the root cause line is derived from
+/// the mutation site. Expected outputs are never hard-coded: harnesses
+/// run the fixed program on the failing input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_WORKLOADS_WORKLOADS_H
+#define EOE_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eoe {
+namespace workloads {
+
+/// One benchmark program (Table 1 row).
+struct BenchmarkInfo {
+  std::string Name;
+  std::string Description;
+  std::string ErrorType;
+  const char *ReferenceSource;
+};
+
+/// One seeded fault (Table 2/3 row).
+struct FaultInfo {
+  /// Paper-style id, e.g. "flex-v1-f9".
+  std::string Id;
+  std::string BenchmarkName;
+  std::string Description;
+  std::string FaultySource;
+  std::string FixedSource;
+  /// Source line of the mutated statement (same in both sources).
+  uint32_t RootCauseLine = 0;
+  /// The input exposing the failure.
+  std::vector<int64_t> FailingInput;
+  /// Inputs used for profiling (value profiles, union dependence graph).
+  std::vector<std::vector<int64_t>> TestSuite;
+};
+
+/// The four benchmark programs.
+const std::vector<BenchmarkInfo> &benchmarks();
+
+/// The nine seeded execution omission faults.
+const std::vector<FaultInfo> &faults();
+
+/// Looks a fault up by id; null if unknown.
+const FaultInfo *findFault(std::string_view Id);
+
+/// Raw sources (reference = fixed versions).
+const char *miniGzipSource();
+const char *miniGrepSource();
+const char *miniFlexSource();
+const char *miniSedSource();
+
+/// Encodes \p Text as character codes appended to \p Prefix, followed by
+/// the -1 end-of-input sentinel.
+std::vector<int64_t> makeInput(std::vector<int64_t> Prefix,
+                               std::string_view Text);
+
+} // namespace workloads
+} // namespace eoe
+
+#endif // EOE_WORKLOADS_WORKLOADS_H

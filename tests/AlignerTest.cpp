@@ -1,0 +1,251 @@
+//===-- tests/AlignerTest.cpp - Algorithm 1 alignment tests -------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// The scenarios mirror the paper's Figure 2 (three executions of the same
+// program; matching point 15 across predicate-switched runs) and Figure 3
+// (single-entry-multiple-exit regions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Aligner.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::align;
+using namespace eoe::interp;
+using eoe::test::Session;
+
+namespace {
+
+/// The paper's Figure 2 program transcribed to Siml. When \p C2Faulty the
+/// body of the P-branch also sets C2 = 1 (the paper's execution (3)).
+std::string figure2Source(bool C2Faulty) {
+  std::string Body = C2Faulty ? "C2 = 1;" : "C2 = 0;";
+  return std::string("fn main() {\n"          // 1
+                     "var i = 0;\n"           // 2
+                     "var t = 0;\n"           // 3
+                     "var x = 0;\n"           // 4
+                     "var P = 0;\n"           // 5
+                     "var C1 = 0;\n"          // 6
+                     "var C2 = 0;\n"          // 7
+                     "var y = 0;\n"           // 8
+                     "if (P) {\n"             // 9   <- switched predicate
+                     "t = 1;\n"               // 10
+                     ) + Body + "\n"          // 11
+                     "x = 42;\n"              // 12
+                     "}\n"                    // 13
+                     "while (i < t) {\n"      // 14
+                     "y = y + 1;\n"           // 15
+                     "if (C1) {\n"            // 16
+                     "y = y + 2;\n"           // 17
+                     "}\n"                    // 18
+                     "i = i + 1;\n"           // 19
+                     "}\n"                    // 20
+                     "if (1) {\n"             // 21
+                     "if (C2 == 0) {\n"       // 22
+                     "y = x;\n"               // 23  <- the use of x ("15(1)")
+                     "}\n"                    // 24
+                     "y = y + 3;\n"           // 25
+                     "}\n"                    // 26
+                     "print(y);\n"            // 27
+                     "}\n";                   // 28
+}
+
+TEST(AlignerTest, Figure2MatchFoundAcrossLoopNoise) {
+  Session S(figure2Source(/*C2Faulty=*/false));
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  TraceIdx U = S.instanceAtLine(E, 23);
+  ASSERT_NE(U, InvalidId);
+
+  // Switch "if (P)": the switched run additionally executes the P-branch
+  // and one loop iteration, shifting all later indices.
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(9), 1}, 100000);
+  ASSERT_NE(EP.SwitchedStep, InvalidId);
+  ASSERT_GT(EP.size(), E.size());
+
+  ExecutionAligner A(E, EP);
+  AlignResult R = A.match(U);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(EP.step(R.Matched).Stmt, S.stmtAtLine(23));
+  EXPECT_NE(R.Matched, U) << "indices shift, matching is non-trivial";
+  // The matched instance now reads x = 42 defined inside the P-branch.
+  ASSERT_EQ(EP.step(R.Matched).Uses.size(), 1u);
+  EXPECT_EQ(EP.step(R.Matched).Uses[0].Value, 42);
+}
+
+TEST(AlignerTest, Figure2Execution3HasNoMatch) {
+  // Paper's execution (3): the switched branch also flips C2, so the
+  // predicate guarding the use takes the other branch and 15(1) has no
+  // counterpart.
+  Session S(figure2Source(/*C2Faulty=*/true));
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  TraceIdx U = S.instanceAtLine(E, 23);
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(9), 1}, 100000);
+
+  ExecutionAligner A(E, EP);
+  AlignResult R = A.match(U);
+  EXPECT_FALSE(R.found());
+  EXPECT_EQ(R.Why, AlignFailure::BranchDiverged);
+}
+
+TEST(AlignerTest, PointsBeforeTheSwitchMatchThemselves) {
+  Session S(figure2Source(false));
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(9), 1}, 100000);
+  ExecutionAligner A(E, EP);
+  for (TraceIdx I = 0; I <= A.switchPoint(); ++I) {
+    AlignResult R = A.match(I);
+    ASSERT_TRUE(R.found());
+    EXPECT_EQ(R.Matched, I);
+  }
+}
+
+TEST(AlignerTest, StatementsSurvivingTheSwitchStillMatch) {
+  Session S(figure2Source(true));
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(9), 1}, 100000);
+  ExecutionAligner A(E, EP);
+  // Line 25 executes in both runs (its guard, line 21, is always true).
+  TraceIdx U = S.instanceAtLine(E, 25);
+  AlignResult R = A.match(U);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(EP.step(R.Matched).Stmt, S.stmtAtLine(25));
+  // And the print as well.
+  AlignResult RP = A.match(S.instanceAtLine(E, 27));
+  ASSERT_TRUE(RP.found());
+  EXPECT_EQ(EP.step(RP.Matched).Stmt, S.stmtAtLine(27));
+}
+
+TEST(AlignerTest, Figure3MultiExitRegionHasNoMatch) {
+  // Figure 3's single-entry-multiple-exit shape: the switched predicate
+  // makes the callee return early. Under Ferrante-Ottenstein-Warren
+  // control dependence the statements following the conditional return
+  // are control dependent on it, so the no-match verdict surfaces as a
+  // branch divergence on u's region path.
+  const char *Src = "fn f(P) {\n"   // 1
+                    "if (P) {\n"    // 2  <- switched
+                    "return 1;\n"   // 3
+                    "}\n"           // 4
+                    "print(5);\n"   // 5  <- u
+                    "return 0;\n"   // 6
+                    "}\n"           // 7
+                    "fn main() {\n" // 8
+                    "var P = 0;\n"  // 9
+                    "print(f(P));\n" // 10
+                    "}\n";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  TraceIdx U = S.instanceAtLine(E, 5);
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(2), 1}, 100000);
+  ExecutionAligner A(E, EP);
+  AlignResult R = A.match(U);
+  EXPECT_FALSE(R.found());
+  EXPECT_EQ(R.Why, AlignFailure::BranchDiverged);
+}
+
+TEST(AlignerTest, RegionEndedEarlyWhenSwitchedRunTimesOut) {
+  // The paper's timeout: if the switched run exhausts its budget before
+  // reaching u's region, the sibling walk runs off the truncated trace
+  // and the verification concludes "no dependence".
+  const char *Src = "fn main() {\n"         // 1
+                    "var P = 0;\n"          // 2
+                    "var t = 0;\n"          // 3
+                    "if (P) {\n"            // 4  <- switched
+                    "t = 1000000000;\n"     // 5
+                    "}\n"                   // 6
+                    "var i = 0;\n"          // 7
+                    "while (i < t) {\n"     // 8
+                    "i = i + 1;\n"          // 9
+                    "}\n"                   // 10
+                    "print(7);\n"           // 11 <- u
+                    "}\n";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  TraceIdx U = S.instanceAtLine(E, 11);
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(4), 1}, 5000);
+  ASSERT_EQ(EP.Exit, ExitReason::StepLimit);
+  ExecutionAligner A(E, EP);
+  AlignResult R = A.match(U);
+  EXPECT_FALSE(R.found());
+  EXPECT_EQ(R.Why, AlignFailure::RegionEndedEarly);
+}
+
+TEST(AlignerTest, MatchesTheRightInstanceOfARepeatedStatement) {
+  // The naive "first occurrence of the statement after the switch"
+  // strategy the paper rejects would pick emit(111)'s print; region
+  // alignment must pick emit(222)'s.
+  const char *Src = "fn emit(v) {\n" // 1
+                    "print(v);\n"    // 2
+                    "return 0;\n"    // 3
+                    "}\n"            // 4
+                    "fn main() {\n"  // 5
+                    "var P = 0;\n"   // 6
+                    "if (P) {\n"     // 7  <- switched
+                    "emit(111);\n"   // 8
+                    "}\n"            // 9
+                    "emit(222);\n"   // 10
+                    "}\n";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  TraceIdx U = S.instanceAtLine(E, 2, 1); // the only print in E
+  ExecutionTrace EP = S.Interp->runSwitched({}, {S.stmtAtLine(7), 1}, 100000);
+  ASSERT_EQ(EP.Outputs.size(), 2u);
+
+  ExecutionAligner A(E, EP);
+  AlignResult R = A.match(U);
+  ASSERT_TRUE(R.found());
+  EXPECT_EQ(EP.step(R.Matched).Stmt, S.stmtAtLine(2));
+  EXPECT_EQ(EP.step(R.Matched).Value, 222) << "must match the second call";
+}
+
+TEST(AlignerTest, NoSwitchAlignmentIsIdentity) {
+  Session S(figure2Source(false));
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  ExecutionTrace E2 = S.run();
+  ExecutionAligner A(E, E2);
+  for (TraceIdx I = 0; I < E.size(); ++I) {
+    AlignResult R = A.match(I);
+    ASSERT_TRUE(R.found());
+    EXPECT_EQ(R.Matched, I);
+  }
+}
+
+TEST(AlignerTest, SwitchingTwiceRestoresTheMatchTarget) {
+  // Flipping the same predicate instance in the switched run's *switched
+  // run* reproduces the original execution, so alignment composes to the
+  // identity.
+  Session S(figure2Source(false));
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace E = S.run();
+  SwitchSpec Spec{S.stmtAtLine(9), 1};
+  ExecutionTrace EP = S.Interp->runSwitched({}, Spec, 100000);
+  ExecutionTrace EPP = S.Interp->runSwitched({}, Spec, 100000);
+  // EP and EPP are byte-identical; align E->EP then verify EPP->E returns
+  // to the original instance via a fresh aligner in the reverse direction.
+  TraceIdx U = S.instanceAtLine(E, 23);
+  ExecutionAligner Fwd(E, EP);
+  AlignResult R1 = Fwd.match(U);
+  ASSERT_TRUE(R1.found());
+  // Reverse: treat EP as original. Its switched run (same spec) is E
+  // again -- but E carries no SwitchedStep, so rebuild it as a switched
+  // trace by re-running with a switch that lands on the same instance.
+  ExecutionAligner Rev(EP, EPP);
+  AlignResult R2 = Rev.match(R1.Matched);
+  ASSERT_TRUE(R2.found());
+  EXPECT_EQ(R2.Matched, R1.Matched);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===-- tests/ArithmeticTest.cpp - Siml numeric semantics ----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Pins Siml's numeric edge-case semantics: +, -, * wrap in two's
+// complement (so host behaviour is defined whatever programs the random
+// generators produce), and the two trapping divisions (by zero, and
+// INT64_MIN / -1) end the run as runtime errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace eoe;
+using namespace eoe::interp;
+using eoe::test::Session;
+
+namespace {
+
+int64_t evalOf(const char *ExprText, std::vector<int64_t> In = {}) {
+  std::string Src =
+      std::string("fn main() { print(") + ExprText + "); }";
+  Session S(Src);
+  EXPECT_TRUE(S.valid());
+  ExecutionTrace T = S.run(In);
+  EXPECT_EQ(T.Exit, ExitReason::Finished);
+  EXPECT_EQ(T.Outputs.size(), 1u);
+  return T.Outputs.empty() ? 0 : T.Outputs[0].Value;
+}
+
+TEST(ArithmeticTest, AdditionWrapsAtInt64Max) {
+  // INT64_MAX as input (literals are parsed digit-by-digit; feed it in).
+  Session S("fn main() { var big = input(); print(big + 1); }");
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({INT64_MAX});
+  ASSERT_EQ(T.Exit, ExitReason::Finished);
+  EXPECT_EQ(T.Outputs[0].Value, INT64_MIN);
+}
+
+TEST(ArithmeticTest, SubtractionAndNegationWrapAtInt64Min) {
+  Session S("fn main() { var small = input(); print(small - 1, -small); }");
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({INT64_MIN});
+  ASSERT_EQ(T.Exit, ExitReason::Finished);
+  EXPECT_EQ(T.Outputs[0].Value, INT64_MAX);
+  EXPECT_EQ(T.Outputs[1].Value, INT64_MIN) << "-INT64_MIN wraps to itself";
+}
+
+TEST(ArithmeticTest, MultiplicationWraps) {
+  Session S("fn main() { var big = input(); print(big * 2); }");
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({INT64_MAX});
+  ASSERT_EQ(T.Exit, ExitReason::Finished);
+  EXPECT_EQ(T.Outputs[0].Value, -2);
+}
+
+TEST(ArithmeticTest, TruncatingDivisionTowardZero) {
+  EXPECT_EQ(evalOf("7 / 2"), 3);
+  EXPECT_EQ(evalOf("-7 / 2"), -3);
+  EXPECT_EQ(evalOf("7 % 3"), 1);
+  EXPECT_EQ(evalOf("-7 % 3"), -1);
+}
+
+TEST(ArithmeticTest, MinDividedByMinusOneTraps) {
+  Session S("fn main() { var small = input(); print(small / -1); }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run({INT64_MIN}).Exit, ExitReason::RuntimeError);
+
+  Session M("fn main() { var small = input(); print(small % -1); }");
+  ASSERT_TRUE(M.valid());
+  EXPECT_EQ(M.run({INT64_MIN}).Exit, ExitReason::RuntimeError);
+}
+
+TEST(ArithmeticTest, ComparisonChainsProduceBooleans) {
+  EXPECT_EQ(evalOf("(1 < 2) + (2 < 1) + (3 == 3)"), 2);
+  EXPECT_EQ(evalOf("!(5 - 5)"), 1);
+}
+
+} // namespace

@@ -1,0 +1,300 @@
+//===-- tests/ConfidenceTest.cpp - Confidence analysis tests ------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicing/Confidence.h"
+
+#include "ddg/DepGraph.h"
+#include "interp/Profiler.h"
+#include "slicing/Pruning.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace eoe;
+using namespace eoe::interp;
+using namespace eoe::slicing;
+using eoe::test::Session;
+
+namespace {
+
+/// The paper's Figure 4: 10: a=1; 20: b=a%2; 30: c=a+2; 40: print(b)
+/// (correct); 41: print(c) (wrong).
+struct Figure4 {
+  Session S{"fn main() {\n"
+            "var a = input();\n" // 2  ("10: a = 1")
+            "var b = a % 2;\n"   // 3  ("20")
+            "var c = a + 2;\n"   // 4  ("30")
+            "print(b);\n"        // 5  ("40": correct)
+            "print(c);\n"        // 6  ("41": wrong)
+            "}"};
+  ExecutionTrace T;
+  std::unique_ptr<ddg::DepGraph> G;
+  OutputVerdicts V;
+  Profile Prof{0};
+
+  Figure4() : Prof(0) {
+    EXPECT_TRUE(S.valid());
+    // Value profile over several runs so 'a' has a nontrivial range.
+    Prof = profileTestSuite(*S.Interp, *S.Prog, {{1}, {3}, {5}, {7}, {9}});
+    T = S.run({1});
+    G = std::make_unique<ddg::DepGraph>(T);
+    V.CorrectOutputs = {0};
+    V.WrongOutput = 1;
+    V.ExpectedValue = 999; // The scenario says c is wrong.
+  }
+};
+
+TEST(ConfidenceTest, Figure4Confidences) {
+  Figure4 F;
+  ConfidenceAnalysis CA(*F.S.Prog, *F.G, &F.Prof.Values, F.V);
+
+  TraceIdx DefA = F.S.instanceAtLine(F.T, 2);
+  TraceIdx DefB = F.S.instanceAtLine(F.T, 3);
+  TraceIdx DefC = F.S.instanceAtLine(F.T, 4);
+
+  // 20 (b = a % 2): printed correct, copy at the print: confidence 1.
+  EXPECT_TRUE(CA.inferredCorrect(DefB));
+  EXPECT_DOUBLE_EQ(CA.confidence(DefB), 1.0);
+
+  // 30 (c = a + 2): reaches only the wrong output: confidence 0.
+  EXPECT_FALSE(CA.inferredCorrect(DefC));
+  EXPECT_DOUBLE_EQ(CA.confidence(DefC), 0.0);
+
+  // 10 (a): reaches a correct output but through the many-to-one %:
+  // strictly between 0 and 1.
+  EXPECT_FALSE(CA.inferredCorrect(DefA));
+  EXPECT_GT(CA.confidence(DefA), 0.0);
+  EXPECT_LT(CA.confidence(DefA), 1.0);
+}
+
+TEST(ConfidenceTest, PrunedSliceDropsConfidenceOneAndRanksSuspicionFirst) {
+  Figure4 F;
+  ConfidenceAnalysis CA(*F.S.Prog, *F.G, &F.Prof.Values, F.V);
+  const std::vector<TraceIdx> &Ranked = CA.prunedSlice();
+
+  TraceIdx DefB = F.S.instanceAtLine(F.T, 3);
+  TraceIdx DefC = F.S.instanceAtLine(F.T, 4);
+  EXPECT_EQ(std::count(Ranked.begin(), Ranked.end(), DefB), 0)
+      << "confidence-1 instances are pruned";
+  auto PosC = std::find(Ranked.begin(), Ranked.end(), DefC);
+  ASSERT_NE(PosC, Ranked.end());
+  TraceIdx DefA = F.S.instanceAtLine(F.T, 2);
+  auto PosA = std::find(Ranked.begin(), Ranked.end(), DefA);
+  ASSERT_NE(PosA, Ranked.end());
+  EXPECT_LT(PosC - Ranked.begin(), PosA - Ranked.begin())
+      << "zero-confidence c ranks more suspicious than mid-confidence a";
+}
+
+TEST(ConfidenceTest, CorrectnessPropagatesThroughInvertibleChains) {
+  const char *Src = "fn main() {\n"
+                    "var a = input();\n"  // 2
+                    "var b = a + 1;\n"    // 3
+                    "var c = b - 2;\n"    // 4
+                    "var bad = a % 3;\n"  // 5
+                    "print(c);\n"         // 6  correct
+                    "print(bad);\n"       // 7  wrong
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({10});
+  ddg::DepGraph G(T);
+  OutputVerdicts V;
+  V.CorrectOutputs = {0};
+  V.WrongOutput = 1;
+  V.ExpectedValue = 0;
+  ConfidenceAnalysis CA(*S.Prog, G, nullptr, V);
+  // The whole a -> b -> c chain is invertible and ends in a correct
+  // output, so even a's definition is verified.
+  EXPECT_TRUE(CA.inferredCorrect(S.instanceAtLine(T, 2)));
+  EXPECT_TRUE(CA.inferredCorrect(S.instanceAtLine(T, 3)));
+  EXPECT_TRUE(CA.inferredCorrect(S.instanceAtLine(T, 4)));
+}
+
+TEST(ConfidenceTest, BenignMarksPruneAndPropagate) {
+  const char *Src = "fn main() {\n"
+                    "var a = input();\n" // 2
+                    "var b = a + 1;\n"   // 3
+                    "var c = b % 2;\n"   // 4
+                    "print(c);\n"        // 5  wrong (no correct outputs)
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({4});
+  ddg::DepGraph G(T);
+  OutputVerdicts V;
+  V.WrongOutput = 0;
+  V.ExpectedValue = 1;
+  ConfidenceAnalysis CA(*S.Prog, G, nullptr, V);
+
+  TraceIdx DefA = S.instanceAtLine(T, 2);
+  TraceIdx DefB = S.instanceAtLine(T, 3);
+  EXPECT_FALSE(CA.inferredCorrect(DefB));
+
+  // The user vouches for b: b becomes correct, and through the
+  // invertible +1 so does a.
+  CA.recompute({DefB});
+  EXPECT_TRUE(CA.inferredCorrect(DefB));
+  EXPECT_TRUE(CA.inferredCorrect(DefA));
+}
+
+TEST(ConfidenceTest, PredicateWithVerifiedInputsIsNotSanitized) {
+  const char *Src = "fn main() {\n"
+                    "var a = input();\n"  // 2
+                    "var x = 0;\n"        // 3
+                    "if (a > 3) {\n"      // 4
+                    "x = a % 5;\n"        // 5
+                    "}\n"
+                    "print(a);\n"         // 7 correct
+                    "print(x);\n"         // 8 wrong
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({10});
+  ddg::DepGraph G(T);
+  OutputVerdicts V;
+  V.CorrectOutputs = {0};
+  V.WrongOutput = 1;
+  V.ExpectedValue = 3;
+  ConfidenceAnalysis CA(*S.Prog, G, nullptr, V);
+  // a is printed correct, so the predicate's only input is verified --
+  // but the predicate could itself be the fault (a mutated condition
+  // computes a wrong branch from correct inputs), so it must NOT be
+  // inferred correct from its inputs alone.
+  EXPECT_FALSE(CA.inferredCorrect(S.instanceAtLine(T, 4)));
+  EXPECT_FALSE(CA.inferredCorrect(S.instanceAtLine(T, 5)));
+  // The print of a, by contrast, emitted a verified value.
+  EXPECT_TRUE(CA.inferredCorrect(S.instanceAtLine(T, 7)));
+}
+
+TEST(ConfidenceTest, Figure5ImplicitDependentsSanitizeTheirPredicate) {
+  const char *Src = "fn main() {\n"
+                    "var p = input();\n"  // 2
+                    "var t = 1;\n"        // 3
+                    "var u = 2;\n"        // 4
+                    "if (p) {\n"          // 5
+                    "t = 5;\n"
+                    "u = 6;\n"
+                    "}\n"
+                    "print(t);\n"         // 9  correct
+                    "print(u);\n"         // 10 wrong
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({0});
+  ddg::DepGraph G(T);
+  OutputVerdicts V;
+  V.CorrectOutputs = {0};
+  V.WrongOutput = 1;
+  V.ExpectedValue = 99;
+
+  TraceIdx If = S.instanceAtLine(T, 5);
+  TraceIdx PrintT = S.instanceAtLine(T, 9);
+
+  // Without edges the predicate is not even in the wrong slice; add the
+  // verified implicit edges print(t) <- if and print(u) <- if.
+  TraceIdx PrintU = S.instanceAtLine(T, 10);
+  G.addImplicitEdge(PrintU, If, false);
+
+  ConfidenceAnalysis::Options NoProp;
+  NoProp.PropagateAcrossImplicit = false;
+  ConfidenceAnalysis CANoProp(*S.Prog, G, nullptr, V, NoProp);
+  EXPECT_FALSE(CANoProp.inferredCorrect(If));
+
+  // Figure 5: once the dependence if -> print(t) is also verified and
+  // print(t) is known correct, the predicate is sanitized.
+  G.addImplicitEdge(PrintT, If, false);
+  ConfidenceAnalysis CAProp(*S.Prog, G, nullptr, V, ConfidenceAnalysis::Options());
+  // print(t) instance: all its used values are verified correct.
+  EXPECT_TRUE(CAProp.inferredCorrect(PrintT));
+  EXPECT_FALSE(CAProp.inferredCorrect(If))
+      << "print(u) is still corrupted, so the predicate stays";
+
+  // If *all* implicit dependents are correct, the predicate is pruned.
+  ddg::DepGraph G2(T);
+  G2.addImplicitEdge(PrintT, If, false);
+  ConfidenceAnalysis CA2(*S.Prog, G2, nullptr, V, ConfidenceAnalysis::Options());
+  EXPECT_TRUE(CA2.inferredCorrect(If));
+}
+
+TEST(PruningTest, OracleLoopReachesMinimalSlice) {
+  // The oracle declares everything benign except the c-chain: pruning
+  // must converge with the corrupted chain only.
+  const char *Src = "fn main() {\n"
+                    "var a = input();\n" // 2
+                    "var c = a % 4;\n"   // 3   (corrupted per oracle)
+                    "var d = a % 5;\n"   // 4   (benign per oracle)
+                    "print(c + d);\n"    // 5   wrong
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({7});
+  ddg::DepGraph G(T);
+  OutputVerdicts V;
+  V.WrongOutput = 0;
+  V.ExpectedValue = 42;
+  ConfidenceAnalysis CA(*S.Prog, G, nullptr, V);
+
+  struct ChainOracle : Oracle {
+    Session &S;
+    ExecutionTrace &T;
+    explicit ChainOracle(Session &S, ExecutionTrace &T) : S(S), T(T) {}
+    bool isBenign(TraceIdx I) override {
+      StmtId Stmt = T.step(I).Stmt;
+      return Stmt == S.stmtAtLine(4); // only d's def is benign
+    }
+    bool isRootCause(StmtId) override {
+      return false; // Root never recognized: run to the minimal slice.
+    }
+  } O(S, T);
+
+  PruneState State;
+  std::vector<TraceIdx> Minimal = pruneSlicing(CA, O, State);
+  EXPECT_EQ(State.UserPrunings, 1u);
+  // d's def is gone; c's def remains.
+  TraceIdx DefD = S.instanceAtLine(T, 4);
+  TraceIdx DefC = S.instanceAtLine(T, 3);
+  EXPECT_EQ(std::count(Minimal.begin(), Minimal.end(), DefD), 0);
+  EXPECT_EQ(std::count(Minimal.begin(), Minimal.end(), DefC), 1);
+}
+
+TEST(PruningTest, SessionStopsWhenRootCauseBecomesVisible) {
+  // When the root cause already sits in the pruned slice, the programmer
+  // recognizes it immediately: no benign answers are recorded.
+  const char *Src = "fn main() {\n"
+                    "var a = input();\n" // 2
+                    "var c = a % 4;\n"   // 3   (the root cause)
+                    "var d = a % 5;\n"   // 4
+                    "print(c + d);\n"    // 5   wrong
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run({7});
+  ddg::DepGraph G(T);
+  OutputVerdicts V;
+  V.WrongOutput = 0;
+  V.ExpectedValue = 42;
+  ConfidenceAnalysis CA(*S.Prog, G, nullptr, V);
+
+  struct RootOracle : Oracle {
+    Session &S;
+    explicit RootOracle(Session &S) : S(S) {}
+    bool isBenign(TraceIdx) override { return true; }
+    bool isRootCause(StmtId Stmt) override {
+      return Stmt == S.stmtAtLine(3);
+    }
+  } O(S);
+
+  PruneState State;
+  std::vector<TraceIdx> Ranked = pruneSlicing(CA, O, State);
+  EXPECT_EQ(State.UserPrunings, 0u);
+  EXPECT_EQ(std::count(Ranked.begin(), Ranked.end(), S.instanceAtLine(T, 3)),
+            1);
+}
+
+} // namespace

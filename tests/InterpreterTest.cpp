@@ -1,0 +1,214 @@
+//===-- tests/InterpreterTest.cpp - Interpreter unit tests --------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::interp;
+using eoe::test::Session;
+
+namespace {
+
+std::vector<int64_t> outputsOf(std::string_view Src,
+                               std::vector<int64_t> Input = {}) {
+  Session S(Src);
+  EXPECT_TRUE(S.valid());
+  if (!S.valid())
+    return {};
+  return S.run(Input).outputValues();
+}
+
+TEST(InterpreterTest, Arithmetic) {
+  EXPECT_EQ(outputsOf("fn main() { print(2 + 3 * 4, 10 / 3, 10 % 3, -7); }"),
+            (std::vector<int64_t>{14, 3, 1, -7}));
+}
+
+TEST(InterpreterTest, Comparisons) {
+  EXPECT_EQ(outputsOf("fn main() { print(1 < 2, 2 <= 2, 3 > 4, 3 >= 4,"
+                      " 5 == 5, 5 != 5); }"),
+            (std::vector<int64_t>{1, 1, 0, 0, 1, 0}));
+}
+
+TEST(InterpreterTest, LogicalOpsNormalizeToBool) {
+  EXPECT_EQ(outputsOf("fn main() { print(2 && 3, 0 && 9, 0 || 7, !0, !5); }"),
+            (std::vector<int64_t>{1, 0, 1, 1, 0}));
+}
+
+TEST(InterpreterTest, ShortCircuitSkipsRhs) {
+  // If && evaluated its RHS here, the division by zero would abort.
+  Session S("fn main() { var z = 0; print(0 && 1 / z); }");
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run();
+  EXPECT_EQ(T.Exit, ExitReason::Finished);
+  EXPECT_EQ(T.outputValues(), (std::vector<int64_t>{0}));
+}
+
+TEST(InterpreterTest, WhileLoopAndBreakContinue) {
+  // Sum odd numbers below 10, stopping at 7.
+  const char *Src = "fn main() {\n"
+                    "  var i = 0; var sum = 0;\n"
+                    "  while (1) {\n"
+                    "    i = i + 1;\n"
+                    "    if (i == 7) { break; }\n"
+                    "    if (i % 2 == 0) { continue; }\n"
+                    "    sum = sum + i;\n"
+                    "  }\n"
+                    "  print(sum);\n"
+                    "}";
+  EXPECT_EQ(outputsOf(Src), (std::vector<int64_t>{1 + 3 + 5}));
+}
+
+TEST(InterpreterTest, GlobalsAndArrays) {
+  const char *Src = "var total = 0;\n"
+                    "var buf[8];\n"
+                    "fn main() {\n"
+                    "  var i = 0;\n"
+                    "  while (i < 8) { buf[i] = i * i; i = i + 1; }\n"
+                    "  i = 0;\n"
+                    "  while (i < 8) { total = total + buf[i]; i = i + 1; }\n"
+                    "  print(total);\n"
+                    "}";
+  EXPECT_EQ(outputsOf(Src), (std::vector<int64_t>{140}));
+}
+
+TEST(InterpreterTest, FunctionsAndRecursion) {
+  const char *Src = "fn fib(n) {\n"
+                    "  if (n < 2) { return n; }\n"
+                    "  return fib(n - 1) + fib(n - 2);\n"
+                    "}\n"
+                    "fn main() { print(fib(10)); }";
+  EXPECT_EQ(outputsOf(Src), (std::vector<int64_t>{55}));
+}
+
+TEST(InterpreterTest, InputReadsSequenceThenEofSentinel) {
+  const char *Src = "fn main() {\n"
+                    "  var v = input();\n"
+                    "  while (v != -1) { print(v * 2); v = input(); }\n"
+                    "  print(999);\n"
+                    "}";
+  EXPECT_EQ(outputsOf(Src, {3, 5}), (std::vector<int64_t>{6, 10, 999}));
+}
+
+TEST(InterpreterTest, UninitializedMemoryReadsZero) {
+  EXPECT_EQ(outputsOf("var g; fn main() { var x; var a[3]; "
+                      "print(g, x, a[2]); }"),
+            (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(InterpreterTest, DivisionByZeroIsRuntimeError) {
+  Session S("fn main() { var z = 0; print(1 / z); }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().Exit, ExitReason::RuntimeError);
+}
+
+TEST(InterpreterTest, OutOfBoundsReadIsRuntimeError) {
+  Session S("fn main() { var a[2]; print(a[5]); }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().Exit, ExitReason::RuntimeError);
+}
+
+TEST(InterpreterTest, OutOfBoundsWriteIsRuntimeError) {
+  Session S("fn main() { var a[2]; var i = 9; a[i] = 1; }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().Exit, ExitReason::RuntimeError);
+}
+
+TEST(InterpreterTest, StepLimitStopsInfiniteLoops) {
+  Session S("fn main() { while (1) { } print(1); }");
+  ASSERT_TRUE(S.valid());
+  Interpreter::Options Opts;
+  Opts.MaxSteps = 1000;
+  ExecutionTrace T = S.Interp->run({}, Opts);
+  EXPECT_EQ(T.Exit, ExitReason::StepLimit);
+  EXPECT_LE(T.size(), 1001u);
+}
+
+TEST(InterpreterTest, ExitValueIsMainsReturn) {
+  Session S("fn main() { return 42; }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().ExitValue, 42);
+}
+
+TEST(InterpreterTest, DeterministicReplay) {
+  const char *Src = "fn main() {\n"
+                    "  var v = input(); var sum = 0;\n"
+                    "  while (v != -1) { sum = sum + v; v = input(); }\n"
+                    "  print(sum);\n"
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace A = S.run({1, 2, 3});
+  ExecutionTrace B = S.run({1, 2, 3});
+  ASSERT_EQ(A.size(), B.size());
+  for (TraceIdx I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A.step(I).Stmt, B.step(I).Stmt);
+    EXPECT_EQ(A.step(I).Value, B.step(I).Value);
+    EXPECT_EQ(A.step(I).CdParent, B.step(I).CdParent);
+  }
+}
+
+TEST(InterpreterTest, PredicateSwitchFlipsOneInstance) {
+  const char *Src = "fn main() {\n"
+                    "var flag = 0;\n"
+                    "if (flag) {\n"
+                    "print(111);\n"
+                    "}\n"
+                    "print(222);\n"
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace Plain = S.run();
+  EXPECT_EQ(Plain.outputValues(), (std::vector<int64_t>{222}));
+
+  SwitchSpec Spec{S.stmtAtLine(3), 1};
+  ExecutionTrace Switched = S.Interp->runSwitched({}, Spec, 100000);
+  EXPECT_EQ(Switched.outputValues(), (std::vector<int64_t>{111, 222}));
+  ASSERT_NE(Switched.SwitchedStep, InvalidId);
+  EXPECT_EQ(Switched.step(Switched.SwitchedStep).Stmt, Spec.Pred);
+  // Prefixes are identical up to the switch point.
+  for (TraceIdx I = 0; I <= Switched.SwitchedStep; ++I)
+    EXPECT_EQ(Plain.step(I).Stmt, Switched.step(I).Stmt);
+}
+
+TEST(InterpreterTest, SwitchTargetsTheRequestedLoopIteration) {
+  const char *Src = "fn main() {\n"
+                    "var i = 0;\n"
+                    "while (i < 4) {\n"
+                    "if (i == 99) {\n"
+                    "print(1000 + i);\n"
+                    "}\n"
+                    "i = i + 1;\n"
+                    "}\n"
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  // Flip the third evaluation of the inner if: only i==2 prints.
+  SwitchSpec Spec{S.stmtAtLine(4), 3};
+  ExecutionTrace T = S.Interp->runSwitched({}, Spec, 100000);
+  EXPECT_EQ(T.outputValues(), (std::vector<int64_t>{1002}));
+}
+
+TEST(InterpreterTest, SwitchedWhileExitsLoopEarly) {
+  const char *Src = "fn main() {\n"
+                    "var i = 0;\n"
+                    "while (i < 4) {\n"
+                    "i = i + 1;\n"
+                    "}\n"
+                    "print(i);\n"
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  SwitchSpec Spec{S.stmtAtLine(3), 2}; // second test exits immediately
+  ExecutionTrace T = S.Interp->runSwitched({}, Spec, 100000);
+  EXPECT_EQ(T.outputValues(), (std::vector<int64_t>{1}));
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===-- tests/LangEdgeTest.cpp - Frontend edge cases ----------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+#include "lang/Parser.h"
+
+#include "support/Casting.h"
+#include "support/Diagnostic.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::lang;
+using eoe::test::parseOrDie;
+using eoe::test::Session;
+
+namespace {
+
+TEST(LangEdgeTest, StatementAtLinePicksTheFirstOnALine) {
+  auto Prog = parseOrDie("fn main() { var a = 1; var b = 2; print(a + b); }");
+  ASSERT_TRUE(Prog);
+  StmtId S = Prog->statementAtLine(1);
+  ASSERT_TRUE(isValidId(S));
+  EXPECT_EQ(cast<VarDeclStmt>(Prog->statement(S))->name(), "a");
+  EXPECT_FALSE(isValidId(Prog->statementAtLine(99)));
+}
+
+TEST(LangEdgeTest, FindFunctionIsExactMatch) {
+  auto Prog = parseOrDie("fn helper() { return 1; }\n"
+                         "fn main() { print(helper()); }");
+  ASSERT_TRUE(Prog);
+  EXPECT_TRUE(isValidId(Prog->findFunction("helper")));
+  EXPECT_FALSE(isValidId(Prog->findFunction("help")));
+  EXPECT_FALSE(isValidId(Prog->findFunction("helperr")));
+}
+
+TEST(LangEdgeTest, ConstantEvaluationHandlesNegationChains) {
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck("var g = --5;\nfn main() { print(g); }",
+                                  Diags);
+  ASSERT_TRUE(Prog) << Diags.str();
+  int64_t Value = 0;
+  EXPECT_TRUE(evaluateConstant(Prog->globals()[0]->init(), Value));
+  EXPECT_EQ(Value, 5);
+}
+
+TEST(LangEdgeTest, DeeplyNestedExpressionsParse) {
+  std::string Expr = "1";
+  for (int I = 0; I < 200; ++I)
+    Expr = "(" + Expr + " + 1)";
+  Session S("fn main() { print(" + std::string(Expr) + "); }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().outputValues(), (std::vector<int64_t>{201}));
+}
+
+TEST(LangEdgeTest, DeeplyNestedBlocksParse) {
+  std::string Src = "fn main() { var x = 0;\n";
+  for (int I = 0; I < 100; ++I)
+    Src += "if (x == 0) {\n";
+  Src += "x = 7;\n";
+  for (int I = 0; I < 100; ++I)
+    Src += "}\n";
+  Src += "print(x); }";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().outputValues(), (std::vector<int64_t>{7}));
+}
+
+TEST(LangEdgeTest, MutualRecursionResolves) {
+  const char *Src = "fn isEven(n) {\n"
+                    "if (n == 0) { return 1; }\n"
+                    "return isOdd(n - 1);\n"
+                    "}\n"
+                    "fn isOdd(n) {\n"
+                    "if (n == 0) { return 0; }\n"
+                    "return isEven(n - 1);\n"
+                    "}\n"
+                    "fn main() { print(isEven(10), isOdd(10)); }";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().outputValues(), (std::vector<int64_t>{1, 0}));
+}
+
+TEST(LangEdgeTest, ShadowedVariablesResolveInnermost) {
+  const char *Src = "var x = 1;\n"
+                    "fn main() {\n"
+                    "var x = 2;\n"
+                    "if (1) {\n"
+                    "var x = 3;\n"
+                    "print(x);\n"
+                    "}\n"
+                    "print(x);\n"
+                    "}";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().outputValues(), (std::vector<int64_t>{3, 2}));
+}
+
+TEST(LangEdgeTest, ParserRecoversAndReportsMultipleErrors) {
+  DiagnosticEngine Diags;
+  lang::parseAndCheck("fn main() {\n"
+                      "var x = ;\n"
+                      "y = 3;\n"
+                      "}",
+                      Diags);
+  EXPECT_GE(Diags.errorCount(), 1u);
+}
+
+TEST(LangEdgeTest, ErrorCascadesAreCapped) {
+  // A hopeless input must not produce unbounded diagnostics or hang.
+  std::string Garbage;
+  for (int I = 0; I < 500; ++I)
+    Garbage += "@ ";
+  DiagnosticEngine Diags;
+  lang::parseAndCheck(Garbage, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_LE(Diags.diagnostics().size(), 600u);
+}
+
+TEST(LangEdgeTest, EmptyFunctionBodiesAreLegal) {
+  Session S("fn noop() { }\nfn main() { noop(); print(1); }");
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().outputValues(), (std::vector<int64_t>{1}));
+}
+
+TEST(LangEdgeTest, CallResultsNestAsArguments) {
+  const char *Src = "fn add(a, b) { return a + b; }\n"
+                    "fn main() { print(add(add(1, 2), add(3, add(4, 5)))); }";
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  EXPECT_EQ(S.run().outputValues(), (std::vector<int64_t>{15}));
+}
+
+} // namespace

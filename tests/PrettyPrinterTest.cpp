@@ -1,0 +1,105 @@
+//===-- tests/PrettyPrinterTest.cpp - Source rendering tests -------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/PrettyPrinter.h"
+
+#include "lang/Parser.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::lang;
+using eoe::test::parseOrDie;
+
+namespace {
+
+const Stmt *firstMainStmt(const Program &Prog) {
+  return Prog.function(Prog.mainFunction())->body().front();
+}
+
+TEST(PrettyPrinterTest, RendersEveryStatementKind) {
+  auto Check = [](const char *Body, const char *Expected) {
+    std::string Src = std::string("fn helper(v) { return v; }\n"
+                                  "fn main() { var q = 0; var a[4]; ") +
+                      Body + " }";
+    auto Prog = parseOrDie(Src);
+    ASSERT_TRUE(Prog);
+    const auto &Stmts = Prog->function(Prog->mainFunction())->body();
+    EXPECT_EQ(stmtToString(Stmts.back()), Expected) << Body;
+  };
+  Check("q = q + 1;", "q = (q + 1);");
+  Check("a[2] = 7;", "a[2] = 7;");
+  Check("if (q) { }", "if (q)");
+  Check("while (q < 3) { q = 4; }", "while ((q < 3))");
+  Check("return 5;", "return 5;");
+  Check("print(q, 2);", "print(q, 2);");
+  Check("helper(q);", "helper(q);");
+  Check("var z = input();", "var z = input();");
+  Check("var b[9];", "var b[9];");
+}
+
+TEST(PrettyPrinterTest, RendersOperatorsWithExplicitGrouping) {
+  auto Prog = parseOrDie("fn main() { var x = -(1) + 2 * 3 - (4 == 5); "
+                         "print(x); }");
+  ASSERT_TRUE(Prog);
+  const auto *Decl = cast<VarDeclStmt>(firstMainStmt(*Prog));
+  EXPECT_EQ(exprToString(Decl->init()),
+            "((-(1) + (2 * 3)) - (4 == 5))");
+}
+
+TEST(PrettyPrinterTest, DescribeStmtIncludesTheLine) {
+  auto Prog = parseOrDie("fn main() {\n"
+                         "var x = 1;\n"
+                         "print(x);\n"
+                         "}");
+  ASSERT_TRUE(Prog);
+  StmtId Print = Prog->statementAtLine(3);
+  EXPECT_EQ(describeStmt(*Prog, Print), "line 3: print(x);");
+}
+
+TEST(PrettyPrinterTest, ProgramPrintingIsIdempotent) {
+  const char *Src = "var g = -7;\n"
+                    "var buf[3];\n"
+                    "fn f(a, b) {\n"
+                    "  if (a > b) { return a; } else { return b; }\n"
+                    "}\n"
+                    "fn main() {\n"
+                    "  var i = 0;\n"
+                    "  while (i < 3) {\n"
+                    "    buf[i] = f(i, g);\n"
+                    "    if (buf[i] == 0) { continue; }\n"
+                    "    i = i + 1;\n"
+                    "  }\n"
+                    "  print(buf[0], buf[1], buf[2]);\n"
+                    "}\n";
+  auto Prog = parseOrDie(Src);
+  ASSERT_TRUE(Prog);
+  std::string Once = programToString(*Prog);
+  auto Reparsed = parseOrDie(Once);
+  ASSERT_TRUE(Reparsed);
+  EXPECT_EQ(programToString(*Reparsed), Once);
+}
+
+TEST(PrettyPrinterTest, ReprintedProgramsBehaveIdentically) {
+  const char *Src = "fn main() {\n"
+                    "  var n = input();\n"
+                    "  var acc = 0;\n"
+                    "  while (n > 0) {\n"
+                    "    acc = acc + n % 3;\n"
+                    "    n = n - 1;\n"
+                    "  }\n"
+                    "  print(acc);\n"
+                    "}\n";
+  eoe::test::Session A(Src);
+  ASSERT_TRUE(A.valid());
+  eoe::test::Session B(programToString(*A.Prog));
+  ASSERT_TRUE(B.valid());
+  EXPECT_EQ(A.run({10}).outputValues(), B.run({10}).outputValues());
+}
+
+} // namespace

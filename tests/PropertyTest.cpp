@@ -1,0 +1,260 @@
+//===-- tests/PropertyTest.cpp - Randomized invariant sweeps -------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Property-based tests over seeded random Siml programs: the invariants
+// every pipeline stage must uphold regardless of program shape --
+// deterministic replay, well-formed region trees, dependence-closed
+// slices, alignment laws under predicate switching, and confidence
+// bounds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Aligner.h"
+#include "ddg/DepGraph.h"
+#include "RandomProgram.h"
+#include "slicing/Confidence.h"
+#include "slicing/DynamicSlicer.h"
+#include "slicing/PotentialDeps.h"
+#include "slicing/RelevantSlicer.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::interp;
+using namespace eoe::test;
+
+namespace {
+
+class RandomProgramProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override {
+    RandomProgramGenerator Gen(GetParam());
+    std::string Source = Gen.generate();
+    In = Gen.input();
+    S = std::make_unique<Session>(Source);
+    ASSERT_TRUE(S->valid()) << "seed " << GetParam() << " source:\n"
+                            << Source;
+    T = S->run(In);
+    ASSERT_EQ(T.Exit, ExitReason::Finished)
+        << "random programs must terminate cleanly";
+    ASSERT_FALSE(T.Outputs.empty());
+  }
+
+  std::unique_ptr<Session> S;
+  std::vector<int64_t> In;
+  ExecutionTrace T;
+};
+
+TEST_P(RandomProgramProperty, ReplayIsDeterministic) {
+  ExecutionTrace U = S->run(In);
+  ASSERT_EQ(T.size(), U.size());
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    EXPECT_EQ(T.step(I).Stmt, U.step(I).Stmt);
+    EXPECT_EQ(T.step(I).Value, U.step(I).Value);
+    EXPECT_EQ(T.step(I).CdParent, U.step(I).CdParent);
+    ASSERT_EQ(T.step(I).Uses.size(), U.step(I).Uses.size());
+    for (size_t K = 0; K < T.step(I).Uses.size(); ++K)
+      EXPECT_EQ(T.step(I).Uses[K].Def, U.step(I).Uses[K].Def);
+  }
+  EXPECT_EQ(T.outputValues(), U.outputValues());
+}
+
+TEST_P(RandomProgramProperty, NonTracingRunBehavesIdentically) {
+  Interpreter::Options Plain;
+  Plain.Trace = false;
+  ExecutionTrace U = S->Interp->run(In, Plain);
+  EXPECT_EQ(U.Exit, ExitReason::Finished);
+  EXPECT_EQ(T.outputValues(), U.outputValues());
+  EXPECT_EQ(T.ExitValue, U.ExitValue);
+  EXPECT_TRUE(U.Steps.empty()) << "non-tracing runs record no steps";
+}
+
+TEST_P(RandomProgramProperty, RegionForestIsWellFormed) {
+  align::RegionTree Tree(T);
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    TraceIdx P = Tree.parent(I);
+    if (P != InvalidId) {
+      EXPECT_LT(P, I) << "parents precede children";
+      EXPECT_TRUE(T.step(P).isPredicateInstance() ||
+                  !T.step(P).Uses.empty() || !T.step(P).Defs.empty() ||
+                  true); // parent is a real instance
+      EXPECT_TRUE(Tree.inRegion(I, P));
+    }
+    // Children are disjoint, ordered, and inside the parent.
+    const auto &Kids = Tree.children(I);
+    for (size_t K = 1; K < Kids.size(); ++K)
+      EXPECT_LT(Kids[K - 1], Kids[K]);
+    for (TraceIdx Kid : Kids)
+      EXPECT_EQ(Tree.parent(Kid), I);
+  }
+  // Subtrees are contiguous trace intervals (the aligner depends on it).
+  for (TraceIdx Head = 0; Head < T.size(); ++Head) {
+    size_t Count = 0;
+    TraceIdx Last = Head;
+    for (TraceIdx I = Head; I < T.size(); ++I)
+      if (Tree.inRegion(I, Head)) {
+        ++Count;
+        Last = I;
+      }
+    EXPECT_EQ(Count, Tree.regionSize(Head));
+    EXPECT_EQ(Last - Head + 1, Count) << "region " << Head;
+  }
+}
+
+TEST_P(RandomProgramProperty, BackwardSlicesAreDependenceClosed) {
+  ddg::DepGraph G(T);
+  TraceIdx Seed = T.Outputs.back().Step;
+  auto Member = G.backwardClosure({Seed}, ddg::DepGraph::ClosureOptions());
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    if (!Member[I])
+      continue;
+    for (const UseRecord &Use : T.step(I).Uses) {
+      if (Use.Def != InvalidId) {
+        EXPECT_TRUE(Member[Use.Def]) << "data dep escapes the slice";
+      }
+    }
+    if (T.step(I).CdParent != InvalidId) {
+      EXPECT_TRUE(Member[T.step(I).CdParent])
+          << "control dep escapes the slice";
+    }
+  }
+}
+
+TEST_P(RandomProgramProperty, DynamicSliceIsSubsetOfRelevantSlice) {
+  ddg::DepGraph G(T);
+  slicing::PotentialDepAnalyzer PD(*S->SA, T);
+  TraceIdx Seed = T.Outputs.back().Step;
+  slicing::SliceResult DS = slicing::computeDynamicSlice(G, Seed);
+  slicing::RelevantSliceResult RS = slicing::computeRelevantSlice(G, PD, Seed);
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    if (DS.Member[I]) {
+      EXPECT_TRUE(RS.Slice.Member[I]) << "DS must be contained in RS";
+    }
+  }
+  EXPECT_GE(RS.Slice.Stats.DynamicInstances, DS.Stats.DynamicInstances);
+}
+
+TEST_P(RandomProgramProperty, NoSwitchAlignmentIsIdentity) {
+  ExecutionTrace U = S->run(In);
+  align::ExecutionAligner A(T, U);
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    align::AlignResult R = A.match(I);
+    ASSERT_TRUE(R.found());
+    EXPECT_EQ(R.Matched, I);
+  }
+}
+
+TEST_P(RandomProgramProperty, SwitchedRunsObeyAlignmentLaws) {
+  // Sample up to three predicate instances spread across the trace.
+  std::vector<TraceIdx> Preds;
+  for (TraceIdx I = 0; I < T.size(); ++I)
+    if (T.step(I).isPredicateInstance())
+      Preds.push_back(I);
+  if (Preds.empty())
+    GTEST_SKIP() << "no predicates in this program";
+
+  for (size_t Pick = 0; Pick < 3 && Pick < Preds.size(); ++Pick) {
+    TraceIdx P = Preds[Pick * Preds.size() / 3];
+    SwitchSpec Spec{T.step(P).Stmt, T.step(P).InstanceNo};
+    ExecutionTrace EP = S->Interp->runSwitched(In, Spec, 500000);
+    ASSERT_EQ(EP.SwitchedStep, P) << "identical prefixes index the switch";
+
+    // Prefix identity up to the switch point. Structure (statement,
+    // instance number, control parent) is always identical; values are
+    // identical only for records whose evaluation *completed* before the
+    // switch -- a call-site record enclosing the switched predicate is
+    // created earlier but finalized after the callee returns.
+    align::RegionTree Tree(T);
+    for (TraceIdx I = 0; I < P; ++I) {
+      ASSERT_EQ(T.step(I).Stmt, EP.step(I).Stmt);
+      ASSERT_EQ(T.step(I).InstanceNo, EP.step(I).InstanceNo);
+      ASSERT_EQ(T.step(I).CdParent, EP.step(I).CdParent);
+      if (!Tree.inRegion(P, I)) {
+        ASSERT_EQ(T.step(I).Value, EP.step(I).Value);
+      }
+    }
+    // The switched instance has the negated outcome.
+    ASSERT_NE(T.step(P).BranchTaken, EP.step(P).BranchTaken);
+
+    // Every match pairs identical statements, and matches are injective.
+    if (EP.Exit != ExitReason::Finished)
+      continue; // Timed-out switched runs align only partially.
+    align::ExecutionAligner A(T, EP);
+    std::set<TraceIdx> Seen;
+    for (TraceIdx I = 0; I < T.size(); ++I) {
+      align::AlignResult R = A.match(I);
+      if (!R.found())
+        continue;
+      EXPECT_EQ(T.step(I).Stmt, EP.step(R.Matched).Stmt);
+      EXPECT_TRUE(Seen.insert(R.Matched).second)
+          << "two originals matched the same switched instance";
+    }
+
+    // Switching the same instance again reproduces the switched run.
+    ExecutionTrace EP2 = S->Interp->runSwitched(In, Spec, 500000);
+    ASSERT_EQ(EP.size(), EP2.size());
+    EXPECT_EQ(EP.outputValues(), EP2.outputValues());
+  }
+}
+
+TEST_P(RandomProgramProperty, ConfidenceIsBoundedAndConsistent) {
+  if (T.Outputs.size() < 2)
+    GTEST_SKIP() << "need at least two outputs";
+  ddg::DepGraph G(T);
+  slicing::OutputVerdicts V;
+  for (size_t I = 0; I + 1 < T.Outputs.size(); ++I)
+    V.CorrectOutputs.push_back(I);
+  V.WrongOutput = T.Outputs.size() - 1;
+  V.ExpectedValue = T.Outputs.back().Value + 1;
+  slicing::ConfidenceAnalysis CA(*S->Prog, G, nullptr, V);
+
+  const auto &Slice = CA.wrongOutputSlice();
+  for (TraceIdx I = 0; I < T.size(); ++I) {
+    double C = CA.confidence(I);
+    EXPECT_GE(C, 0.0);
+    EXPECT_LE(C, 1.0);
+    if (CA.inferredCorrect(I)) {
+      EXPECT_DOUBLE_EQ(C, 1.0);
+    }
+    if (!Slice[I]) {
+      EXPECT_DOUBLE_EQ(C, 1.0) << "instances outside the slice are moot";
+    }
+  }
+  for (TraceIdx I : CA.prunedSlice()) {
+    EXPECT_TRUE(Slice[I]);
+    EXPECT_LT(CA.confidence(I), 1.0);
+  }
+}
+
+TEST_P(RandomProgramProperty, PotentialDepsSatisfyDefinitionOne) {
+  slicing::PotentialDepAnalyzer PD(*S->SA, T);
+  // Check conditions (i)-(iii) structurally on every reported candidate
+  // of a sample of uses.
+  size_t Checked = 0;
+  for (TraceIdx I = 0; I < T.size() && Checked < 25; ++I) {
+    for (const UseRecord &Use : T.step(I).Uses) {
+      if (!isValidId(Use.Var))
+        continue;
+      ++Checked;
+      for (TraceIdx P : PD.compute(I, Use, false)) {
+        EXPECT_LT(P, I) << "(i) the predicate precedes the use";
+        EXPECT_TRUE(T.step(P).isPredicateInstance());
+        if (Use.Def != InvalidId) {
+          EXPECT_GT(P, Use.Def) << "(iii) the reaching def precedes p";
+        }
+        for (TraceIdx A = T.step(I).CdParent; A != InvalidId;
+             A = T.step(A).CdParent)
+          EXPECT_NE(A, P) << "(ii) u must not be control dependent on p";
+        EXPECT_TRUE(PD.isPotentialDep(P, I, Use)) << "query consistency";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range<uint64_t>(1, 25));
+
+} // namespace

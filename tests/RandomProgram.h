@@ -1,0 +1,23 @@
+//===-- tests/RandomProgram.h - Forwarder to the library generator -------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// The generator graduated from test helper to library component
+// (src/gen/RandomProgram.h) so the eoe-fuzz tool can use it; tests keep
+// their original spelling via this alias.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_TESTS_RANDOMPROGRAM_FWD_H
+#define EOE_TESTS_RANDOMPROGRAM_FWD_H
+
+#include "gen/RandomProgram.h"
+
+namespace eoe {
+namespace test {
+using RandomProgramGenerator = ::eoe::gen::RandomProgramGenerator;
+} // namespace test
+} // namespace eoe
+
+#endif // EOE_TESTS_RANDOMPROGRAM_FWD_H

@@ -1,0 +1,113 @@
+//===-- tests/SupportTest.cpp - Support library unit tests --------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+
+namespace {
+
+TEST(StringUtilsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(splitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitString(",a,", ','),
+            (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilsTest, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(StringUtilsTest, JoinInterleavesSeparator) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"only"}, ","), "only");
+}
+
+TEST(StringUtilsTest, FormatDoubleTrimsTrailingZeros) {
+  EXPECT_EQ(formatDouble(1.5, 2), "1.5");
+  EXPECT_EQ(formatDouble(2.0, 2), "2");
+  EXPECT_EQ(formatDouble(0.123456, 3), "0.123");
+  EXPECT_EQ(formatDouble(-3.10, 2), "-3.1");
+}
+
+TEST(StringUtilsTest, EncodeDecodeRoundTripsPrintableText) {
+  std::string Text = "Hello, Siml! 123";
+  std::vector<int64_t> Codes = encodeString(Text);
+  ASSERT_EQ(Codes.size(), Text.size());
+  EXPECT_EQ(decodeString(Codes), Text);
+}
+
+TEST(StringUtilsTest, DecodeEscapesNonPrintable) {
+  EXPECT_EQ(decodeString({10}), "\\x0a");
+  EXPECT_EQ(decodeString({'A', 0}), "A\\x00");
+}
+
+TEST(RNGTest, DeterministicPerSeed) {
+  RNG A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  RNG D(42), E(43);
+  EXPECT_NE(D.next(), E.next());
+}
+
+TEST(RNGTest, RangesRespectBounds) {
+  RNG Rng(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(Rng.nextBelow(10), 10u);
+    int64_t V = Rng.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+  EXPECT_EQ(Rng.nextInRange(3, 3), 3);
+}
+
+TEST(RNGTest, ChanceIsRoughlyCalibrated) {
+  RNG Rng(11);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += Rng.chance(1, 4);
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+}
+
+TEST(DiagnosticTest, CountsAndRendersErrors) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "just a warning");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "boom");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("1:2: warning: just a warning"), std::string::npos);
+  EXPECT_NE(Text.find("3:4: error: boom"), std::string::npos);
+}
+
+TEST(TableTest, AlignsColumnsAndPadsShortRows) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-name"});
+  std::string Out = T.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  EXPECT_NE(Out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer-name |       |"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===-- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_TESTS_TESTUTIL_H
+#define EOE_TESTS_TESTUTIL_H
+
+#include "analysis/StaticAnalysis.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "support/Diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string_view>
+
+namespace eoe {
+namespace test {
+
+/// Parses and checks \p Source, failing the test on any diagnostic.
+inline std::unique_ptr<lang::Program> parseOrDie(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<lang::Program> Prog = lang::parseAndCheck(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Prog;
+}
+
+/// A parsed program with its static analysis and interpreter, ready to run.
+struct Session {
+  std::unique_ptr<lang::Program> Prog;
+  std::unique_ptr<analysis::StaticAnalysis> SA;
+  std::unique_ptr<interp::Interpreter> Interp;
+
+  explicit Session(std::string_view Source) {
+    Prog = parseOrDie(Source);
+    if (!Prog)
+      return;
+    SA = std::make_unique<analysis::StaticAnalysis>(*Prog);
+    Interp = std::make_unique<interp::Interpreter>(*Prog, *SA);
+  }
+
+  bool valid() const { return Interp != nullptr; }
+
+  interp::ExecutionTrace run(const std::vector<int64_t> &Input = {}) const {
+    return Interp->run(Input);
+  }
+
+  /// Returns the first statement on source line \p Line; asserts it exists.
+  StmtId stmtAtLine(uint32_t Line) const {
+    StmtId Id = Prog->statementAtLine(Line);
+    EXPECT_TRUE(isValidId(Id)) << "no statement at line " << Line;
+    return Id;
+  }
+
+  /// Finds the Nth (1-based) instance of the statement at \p Line in \p T.
+  TraceIdx instanceAtLine(const interp::ExecutionTrace &T, uint32_t Line,
+                          uint32_t Nth = 1) const {
+    StmtId S = Prog->statementAtLine(Line);
+    for (TraceIdx I = 0; I < T.size(); ++I)
+      if (T.step(I).Stmt == S && T.step(I).InstanceNo == Nth)
+        return I;
+    return InvalidId;
+  }
+};
+
+} // namespace test
+} // namespace eoe
+
+#endif // EOE_TESTS_TESTUTIL_H

@@ -1,0 +1,145 @@
+//===-- tests/TraceIOTest.cpp - Trace serialization tests ----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/TraceIO.h"
+
+#include "align/Aligner.h"
+#include "ddg/DepGraph.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::interp;
+using eoe::test::Session;
+
+namespace {
+
+const char *Src = "fn mix(a) {\n"
+                  "return a * 2;\n"
+                  "}\n"
+                  "fn main() {\n"
+                  "var i = 0;\n"
+                  "var s = 0;\n"
+                  "while (i < 3) {\n"
+                  "s = s + mix(i);\n"
+                  "i = i + 1;\n"
+                  "}\n"
+                  "if (s > 4) {\n"
+                  "print(s);\n"
+                  "}\n"
+                  "print(s, i);\n"
+                  "}";
+
+void expectTracesEqual(const ExecutionTrace &A, const ExecutionTrace &B) {
+  ASSERT_EQ(A.Steps.size(), B.Steps.size());
+  EXPECT_EQ(A.Exit, B.Exit);
+  EXPECT_EQ(A.ExitValue, B.ExitValue);
+  EXPECT_EQ(A.SwitchedStep, B.SwitchedStep);
+  for (TraceIdx I = 0; I < A.Steps.size(); ++I) {
+    const StepRecord &SA = A.step(I), &SB = B.step(I);
+    EXPECT_EQ(SA.Stmt, SB.Stmt);
+    EXPECT_EQ(SA.CdParent, SB.CdParent);
+    EXPECT_EQ(SA.InstanceNo, SB.InstanceNo);
+    EXPECT_EQ(SA.BranchTaken, SB.BranchTaken);
+    EXPECT_EQ(SA.Value, SB.Value);
+    ASSERT_EQ(SA.Uses.size(), SB.Uses.size());
+    for (size_t U = 0; U < SA.Uses.size(); ++U) {
+      EXPECT_EQ(SA.Uses[U].Loc.Raw, SB.Uses[U].Loc.Raw);
+      EXPECT_EQ(SA.Uses[U].Def, SB.Uses[U].Def);
+      EXPECT_EQ(SA.Uses[U].LoadExpr, SB.Uses[U].LoadExpr);
+      EXPECT_EQ(SA.Uses[U].Var, SB.Uses[U].Var);
+      EXPECT_EQ(SA.Uses[U].Value, SB.Uses[U].Value);
+    }
+    ASSERT_EQ(SA.Defs.size(), SB.Defs.size());
+    for (size_t D = 0; D < SA.Defs.size(); ++D) {
+      EXPECT_EQ(SA.Defs[D].Loc.Raw, SB.Defs[D].Loc.Raw);
+      EXPECT_EQ(SA.Defs[D].Value, SB.Defs[D].Value);
+    }
+  }
+  ASSERT_EQ(A.Outputs.size(), B.Outputs.size());
+  for (size_t I = 0; I < A.Outputs.size(); ++I) {
+    EXPECT_EQ(A.Outputs[I].Step, B.Outputs[I].Step);
+    EXPECT_EQ(A.Outputs[I].ArgNo, B.Outputs[I].ArgNo);
+    EXPECT_EQ(A.Outputs[I].Value, B.Outputs[I].Value);
+  }
+}
+
+TEST(TraceIOTest, RoundTripsAFullTrace) {
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run();
+  std::string Text = serializeTrace(T);
+  std::string Error;
+  auto Back = deserializeTrace(Text, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  expectTracesEqual(T, *Back);
+}
+
+TEST(TraceIOTest, RoundTripsSwitchedAndAbortedRuns) {
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T =
+      S.Interp->runSwitched({}, {S.stmtAtLine(11), 1}, 100000);
+  ASSERT_NE(T.SwitchedStep, InvalidId);
+  auto Back = deserializeTrace(serializeTrace(T));
+  ASSERT_TRUE(Back.has_value());
+  expectTracesEqual(T, *Back);
+
+  Interpreter::Options Tight;
+  Tight.MaxSteps = 5;
+  ExecutionTrace Aborted = S.Interp->run({}, Tight);
+  ASSERT_EQ(Aborted.Exit, ExitReason::StepLimit);
+  auto Back2 = deserializeTrace(serializeTrace(Aborted));
+  ASSERT_TRUE(Back2.has_value());
+  expectTracesEqual(Aborted, *Back2);
+}
+
+TEST(TraceIOTest, DeserializedTracesDriveTheAnalyses) {
+  // The round-tripped trace is a full citizen: sliceable and alignable.
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.run();
+  auto Loaded = deserializeTrace(serializeTrace(T));
+  ASSERT_TRUE(Loaded.has_value());
+
+  ddg::DepGraph G(*Loaded);
+  auto Member = G.backwardClosure({Loaded->Outputs.back().Step},
+                                  ddg::DepGraph::ClosureOptions());
+  EXPECT_GT(G.stats(Member).DynamicInstances, 4u);
+
+  ExecutionTrace Switched =
+      S.Interp->runSwitched({}, {S.stmtAtLine(11), 1}, 100000);
+  align::ExecutionAligner A(*Loaded, Switched);
+  EXPECT_TRUE(A.match(Loaded->Outputs.back().Step).found());
+}
+
+TEST(TraceIOTest, RejectsCorruptInput) {
+  Session S(Src);
+  ASSERT_TRUE(S.valid());
+  std::string Good = serializeTrace(S.run());
+  std::string Error;
+
+  EXPECT_FALSE(deserializeTrace("", &Error).has_value());
+  EXPECT_FALSE(deserializeTrace("NOTATRACE 1\n", &Error).has_value());
+  EXPECT_FALSE(
+      deserializeTrace("EOETRACE 99\nexit finished 0\n", &Error).has_value())
+      << "unknown version";
+
+  // Truncation anywhere must be detected, never crash.
+  for (size_t Cut : {Good.size() / 4, Good.size() / 2, Good.size() - 3})
+    EXPECT_FALSE(deserializeTrace(Good.substr(0, Cut), &Error).has_value())
+        << "cut at " << Cut;
+
+  // Dangling parent index.
+  std::string Dangling = "EOETRACE 1\nexit finished 0\nswitched -\n"
+                         "steps 1\ns 0 5 1 -1 0 0 0\noutputs 0\n";
+  EXPECT_FALSE(deserializeTrace(Dangling, &Error).has_value());
+  EXPECT_NE(Error.find("parent out of order"), std::string::npos);
+}
+
+} // namespace
