@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_cps.dir/bench_baseline_cps.cpp.o"
+  "CMakeFiles/bench_baseline_cps.dir/bench_baseline_cps.cpp.o.d"
+  "bench_baseline_cps"
+  "bench_baseline_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

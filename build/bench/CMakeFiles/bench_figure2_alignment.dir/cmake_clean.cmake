@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_alignment.dir/bench_figure2_alignment.cpp.o"
+  "CMakeFiles/bench_figure2_alignment.dir/bench_figure2_alignment.cpp.o.d"
+  "bench_figure2_alignment"
+  "bench_figure2_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

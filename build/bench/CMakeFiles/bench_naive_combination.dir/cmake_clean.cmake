@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_combination.dir/bench_naive_combination.cpp.o"
+  "CMakeFiles/bench_naive_combination.dir/bench_naive_combination.cpp.o.d"
+  "bench_naive_combination"
+  "bench_naive_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

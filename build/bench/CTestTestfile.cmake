@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_figure1 "/root/repo/build/bench/bench_figure1")
+set_tests_properties(bench_smoke_figure1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_figure2 "/root/repo/build/bench/bench_figure2_alignment")
+set_tests_properties(bench_smoke_figure2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_confidence "/root/repo/build/bench/bench_confidence")
+set_tests_properties(bench_smoke_confidence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_discussion "/root/repo/build/bench/bench_discussion")
+set_tests_properties(bench_smoke_discussion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table1 "/root/repo/build/bench/bench_table1")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")

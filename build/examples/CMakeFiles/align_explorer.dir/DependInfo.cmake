@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/align_explorer.cpp" "examples/CMakeFiles/align_explorer.dir/align_explorer.cpp.o" "gcc" "examples/CMakeFiles/align_explorer.dir/align_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/eoe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/eoe_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/eoe_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/eoe_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/eoe_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eoe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eoe_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eoe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_explorer.dir/align_explorer.cpp.o"
+  "CMakeFiles/align_explorer.dir/align_explorer.cpp.o.d"
+  "align_explorer"
+  "align_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_slicers.dir/compare_slicers.cpp.o"
+  "CMakeFiles/compare_slicers.dir/compare_slicers.cpp.o.d"
+  "compare_slicers"
+  "compare_slicers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_slicers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

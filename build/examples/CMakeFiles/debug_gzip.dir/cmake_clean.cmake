@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_gzip.dir/debug_gzip.cpp.o"
+  "CMakeFiles/debug_gzip.dir/debug_gzip.cpp.o.d"
+  "debug_gzip"
+  "debug_gzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_gzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_align.dir/Aligner.cpp.o"
+  "CMakeFiles/eoe_align.dir/Aligner.cpp.o.d"
+  "CMakeFiles/eoe_align.dir/RegionTree.cpp.o"
+  "CMakeFiles/eoe_align.dir/RegionTree.cpp.o.d"
+  "libeoe_align.a"
+  "libeoe_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

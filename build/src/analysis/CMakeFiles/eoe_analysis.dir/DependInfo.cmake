@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/eoe_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/eoe_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/ControlDependence.cpp" "src/analysis/CMakeFiles/eoe_analysis.dir/ControlDependence.cpp.o" "gcc" "src/analysis/CMakeFiles/eoe_analysis.dir/ControlDependence.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/eoe_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/eoe_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/StaticAnalysis.cpp" "src/analysis/CMakeFiles/eoe_analysis.dir/StaticAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/eoe_analysis.dir/StaticAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/eoe_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eoe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/eoe_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/eoe_analysis.dir/ControlDependence.cpp.o"
+  "CMakeFiles/eoe_analysis.dir/ControlDependence.cpp.o.d"
+  "CMakeFiles/eoe_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/eoe_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/eoe_analysis.dir/StaticAnalysis.cpp.o"
+  "CMakeFiles/eoe_analysis.dir/StaticAnalysis.cpp.o.d"
+  "libeoe_analysis.a"
+  "libeoe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_core.dir/CriticalPredicate.cpp.o"
+  "CMakeFiles/eoe_core.dir/CriticalPredicate.cpp.o.d"
+  "CMakeFiles/eoe_core.dir/DebugSession.cpp.o"
+  "CMakeFiles/eoe_core.dir/DebugSession.cpp.o.d"
+  "CMakeFiles/eoe_core.dir/LocateFault.cpp.o"
+  "CMakeFiles/eoe_core.dir/LocateFault.cpp.o.d"
+  "CMakeFiles/eoe_core.dir/ValuePerturb.cpp.o"
+  "CMakeFiles/eoe_core.dir/ValuePerturb.cpp.o.d"
+  "CMakeFiles/eoe_core.dir/VerifyDep.cpp.o"
+  "CMakeFiles/eoe_core.dir/VerifyDep.cpp.o.d"
+  "libeoe_core.a"
+  "libeoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

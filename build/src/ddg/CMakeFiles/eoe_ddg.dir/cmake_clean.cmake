@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_ddg.dir/DepGraph.cpp.o"
+  "CMakeFiles/eoe_ddg.dir/DepGraph.cpp.o.d"
+  "libeoe_ddg.a"
+  "libeoe_ddg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/Interpreter.cpp" "src/interp/CMakeFiles/eoe_interp.dir/Interpreter.cpp.o" "gcc" "src/interp/CMakeFiles/eoe_interp.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/Profiler.cpp" "src/interp/CMakeFiles/eoe_interp.dir/Profiler.cpp.o" "gcc" "src/interp/CMakeFiles/eoe_interp.dir/Profiler.cpp.o.d"
+  "/root/repo/src/interp/TraceIO.cpp" "src/interp/CMakeFiles/eoe_interp.dir/TraceIO.cpp.o" "gcc" "src/interp/CMakeFiles/eoe_interp.dir/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/eoe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eoe_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eoe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

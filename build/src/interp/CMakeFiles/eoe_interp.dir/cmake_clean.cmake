@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/eoe_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/eoe_interp.dir/Profiler.cpp.o"
+  "CMakeFiles/eoe_interp.dir/Profiler.cpp.o.d"
+  "CMakeFiles/eoe_interp.dir/TraceIO.cpp.o"
+  "CMakeFiles/eoe_interp.dir/TraceIO.cpp.o.d"
+  "libeoe_interp.a"
+  "libeoe_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

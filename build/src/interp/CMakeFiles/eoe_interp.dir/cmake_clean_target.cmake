@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeoe_interp.a"
+)

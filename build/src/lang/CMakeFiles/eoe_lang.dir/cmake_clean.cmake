@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_lang.dir/AST.cpp.o"
+  "CMakeFiles/eoe_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/eoe_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/eoe_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/eoe_lang.dir/Parser.cpp.o"
+  "CMakeFiles/eoe_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/eoe_lang.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/eoe_lang.dir/PrettyPrinter.cpp.o.d"
+  "CMakeFiles/eoe_lang.dir/Sema.cpp.o"
+  "CMakeFiles/eoe_lang.dir/Sema.cpp.o.d"
+  "libeoe_lang.a"
+  "libeoe_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slicing/Confidence.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/Confidence.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/Confidence.cpp.o.d"
+  "/root/repo/src/slicing/DynamicSlicer.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/DynamicSlicer.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/DynamicSlicer.cpp.o.d"
+  "/root/repo/src/slicing/Invertibility.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/Invertibility.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/Invertibility.cpp.o.d"
+  "/root/repo/src/slicing/OutputVerdicts.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/OutputVerdicts.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/OutputVerdicts.cpp.o.d"
+  "/root/repo/src/slicing/PotentialDeps.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/PotentialDeps.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/PotentialDeps.cpp.o.d"
+  "/root/repo/src/slicing/Pruning.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/Pruning.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/Pruning.cpp.o.d"
+  "/root/repo/src/slicing/RelevantSlicer.cpp" "src/slicing/CMakeFiles/eoe_slicing.dir/RelevantSlicer.cpp.o" "gcc" "src/slicing/CMakeFiles/eoe_slicing.dir/RelevantSlicer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ddg/CMakeFiles/eoe_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/eoe_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eoe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eoe_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eoe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_slicing.dir/Confidence.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/Confidence.cpp.o.d"
+  "CMakeFiles/eoe_slicing.dir/DynamicSlicer.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/DynamicSlicer.cpp.o.d"
+  "CMakeFiles/eoe_slicing.dir/Invertibility.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/Invertibility.cpp.o.d"
+  "CMakeFiles/eoe_slicing.dir/OutputVerdicts.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/OutputVerdicts.cpp.o.d"
+  "CMakeFiles/eoe_slicing.dir/PotentialDeps.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/PotentialDeps.cpp.o.d"
+  "CMakeFiles/eoe_slicing.dir/Pruning.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/Pruning.cpp.o.d"
+  "CMakeFiles/eoe_slicing.dir/RelevantSlicer.cpp.o"
+  "CMakeFiles/eoe_slicing.dir/RelevantSlicer.cpp.o.d"
+  "libeoe_slicing.a"
+  "libeoe_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_support.dir/Diagnostic.cpp.o"
+  "CMakeFiles/eoe_support.dir/Diagnostic.cpp.o.d"
+  "CMakeFiles/eoe_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/eoe_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/eoe_support.dir/Table.cpp.o"
+  "CMakeFiles/eoe_support.dir/Table.cpp.o.d"
+  "libeoe_support.a"
+  "libeoe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_viz.dir/Dot.cpp.o"
+  "CMakeFiles/eoe_viz.dir/Dot.cpp.o.d"
+  "libeoe_viz.a"
+  "libeoe_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/MiniFlex.cpp" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniFlex.cpp.o" "gcc" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniFlex.cpp.o.d"
+  "/root/repo/src/workloads/MiniGrep.cpp" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniGrep.cpp.o" "gcc" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniGrep.cpp.o.d"
+  "/root/repo/src/workloads/MiniGzip.cpp" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniGzip.cpp.o" "gcc" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniGzip.cpp.o.d"
+  "/root/repo/src/workloads/MiniSed.cpp" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniSed.cpp.o" "gcc" "src/workloads/CMakeFiles/eoe_workloads.dir/MiniSed.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/eoe_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/eoe_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Runner.cpp" "src/workloads/CMakeFiles/eoe_workloads.dir/Runner.cpp.o" "gcc" "src/workloads/CMakeFiles/eoe_workloads.dir/Runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/eoe_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/eoe_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/eoe_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/eoe_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eoe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eoe_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eoe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

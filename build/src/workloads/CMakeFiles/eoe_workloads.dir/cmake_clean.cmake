@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe_workloads.dir/MiniFlex.cpp.o"
+  "CMakeFiles/eoe_workloads.dir/MiniFlex.cpp.o.d"
+  "CMakeFiles/eoe_workloads.dir/MiniGrep.cpp.o"
+  "CMakeFiles/eoe_workloads.dir/MiniGrep.cpp.o.d"
+  "CMakeFiles/eoe_workloads.dir/MiniGzip.cpp.o"
+  "CMakeFiles/eoe_workloads.dir/MiniGzip.cpp.o.d"
+  "CMakeFiles/eoe_workloads.dir/MiniSed.cpp.o"
+  "CMakeFiles/eoe_workloads.dir/MiniSed.cpp.o.d"
+  "CMakeFiles/eoe_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/eoe_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/eoe_workloads.dir/Runner.cpp.o"
+  "CMakeFiles/eoe_workloads.dir/Runner.cpp.o.d"
+  "libeoe_workloads.a"
+  "libeoe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

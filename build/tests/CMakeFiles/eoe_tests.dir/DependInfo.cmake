@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AlignerTest.cpp" "tests/CMakeFiles/eoe_tests.dir/AlignerTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/AlignerTest.cpp.o.d"
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/eoe_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/ArithmeticTest.cpp" "tests/CMakeFiles/eoe_tests.dir/ArithmeticTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/ArithmeticTest.cpp.o.d"
+  "/root/repo/tests/ConfidenceTest.cpp" "tests/CMakeFiles/eoe_tests.dir/ConfidenceTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/ConfidenceTest.cpp.o.d"
+  "/root/repo/tests/CriticalPredicateTest.cpp" "tests/CMakeFiles/eoe_tests.dir/CriticalPredicateTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/CriticalPredicateTest.cpp.o.d"
+  "/root/repo/tests/DebugSessionTest.cpp" "tests/CMakeFiles/eoe_tests.dir/DebugSessionTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/DebugSessionTest.cpp.o.d"
+  "/root/repo/tests/DepGraphTest.cpp" "tests/CMakeFiles/eoe_tests.dir/DepGraphTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/DepGraphTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/eoe_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/LangEdgeTest.cpp" "tests/CMakeFiles/eoe_tests.dir/LangEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/LangEdgeTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/eoe_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LocateFaultTest.cpp" "tests/CMakeFiles/eoe_tests.dir/LocateFaultTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/LocateFaultTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/eoe_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PrettyPrinterTest.cpp" "tests/CMakeFiles/eoe_tests.dir/PrettyPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/PrettyPrinterTest.cpp.o.d"
+  "/root/repo/tests/ProfilerTest.cpp" "tests/CMakeFiles/eoe_tests.dir/ProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/ProfilerTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/eoe_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RandomOmissionTest.cpp" "tests/CMakeFiles/eoe_tests.dir/RandomOmissionTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/RandomOmissionTest.cpp.o.d"
+  "/root/repo/tests/RegionTreeTest.cpp" "tests/CMakeFiles/eoe_tests.dir/RegionTreeTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/RegionTreeTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/eoe_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SlicingTest.cpp" "tests/CMakeFiles/eoe_tests.dir/SlicingTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/SlicingTest.cpp.o.d"
+  "/root/repo/tests/StressTest.cpp" "tests/CMakeFiles/eoe_tests.dir/StressTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/StressTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/eoe_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TraceIOTest.cpp" "tests/CMakeFiles/eoe_tests.dir/TraceIOTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/TraceIOTest.cpp.o.d"
+  "/root/repo/tests/TraceTest.cpp" "tests/CMakeFiles/eoe_tests.dir/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/TraceTest.cpp.o.d"
+  "/root/repo/tests/ValuePerturbTest.cpp" "tests/CMakeFiles/eoe_tests.dir/ValuePerturbTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/ValuePerturbTest.cpp.o.d"
+  "/root/repo/tests/VerifyDepTest.cpp" "tests/CMakeFiles/eoe_tests.dir/VerifyDepTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/VerifyDepTest.cpp.o.d"
+  "/root/repo/tests/VizTest.cpp" "tests/CMakeFiles/eoe_tests.dir/VizTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/VizTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/eoe_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/eoe_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/eoe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/eoe_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/eoe_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/eoe_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/eoe_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/eoe_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eoe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eoe_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eoe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoe-fuzz.dir/eoe-fuzz.cpp.o"
+  "CMakeFiles/eoe-fuzz.dir/eoe-fuzz.cpp.o.d"
+  "eoe-fuzz"
+  "eoe-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoe-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

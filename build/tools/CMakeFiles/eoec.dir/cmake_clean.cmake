@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eoec.dir/eoec.cpp.o"
+  "CMakeFiles/eoec.dir/eoec.cpp.o.d"
+  "eoec"
+  "eoec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eoec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
