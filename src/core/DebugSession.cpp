@@ -40,6 +40,7 @@ DebugSession::DebugSession(const lang::Program &Prog,
   ImplicitDepVerifier::Config VC;
   VC.MaxSteps = C.Locate.MaxSteps;
   VC.UsePathCheck = C.Locate.UsePathCheck;
+  VC.Threads = C.Threads;
   Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,
                                                    FailingInput, *Verdicts, VC);
 }
@@ -69,8 +70,13 @@ std::vector<TraceIdx> DebugSession::prunedSlice() const {
 
 LocateReport DebugSession::locate(Oracle &O) {
   assert(hasFailure() && "no failure to locate");
+  LocateConfig LC = C.Locate;
+  // Threads == 1 means "the serial reference engine": take the original
+  // one-at-a-time code path in locateFault, not batches of size one.
+  if (LC.Threads == 0 && C.Threads == 1)
+    LC.Threads = 1;
   return locateFault(Prog, *Graph, *PD, *Verifier, &Prof.Values, *Verdicts, O,
-                     C.Locate);
+                     LC);
 }
 
 std::vector<bool> DebugSession::failureChain(StmtId RootCause) const {

@@ -49,6 +49,12 @@ public:
         slicing::PotentialDepAnalyzer::Backend::Static;
     /// Step budget for the failing run and each switched run.
     uint64_t MaxSteps = 5'000'000;
+    /// Worker threads for the parallel verification engine backing
+    /// locate(): 0 = hardware_concurrency, 1 = the serial reference
+    /// engine. Any value yields bit-identical results (the parallel
+    /// engine joins deterministically; see docs/parallelism.md) -- the
+    /// knob only trades wall-clock time.
+    unsigned Threads = 0;
     /// Algorithm 2 tunables.
     LocateConfig Locate;
   };

@@ -39,6 +39,15 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
   const ExecutionTrace &T = G.trace();
   LocateReport Report;
 
+  // Batched scheduling: the candidate set of the selected use and the
+  // fan-out set of a winning predicate are collected into batches whose
+  // switched re-executions run concurrently on the verifier's pool.
+  // Verdicts are pure and joined in request order, so the batched path
+  // is bit-identical to the serial one; Threads == 1 keeps the original
+  // one-at-a-time reference loop.
+  VerifyScheduler Scheduler(Verifier);
+  const bool Batched = Config.Threads != 1;
+
   ConfidenceAnalysis CA(Prog, G, Values, V);
   PruneState Prune;
   std::vector<TraceIdx> Ranked = pruneSlicing(CA, O, Prune);
@@ -73,13 +82,29 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
           VerifiedUse VU;
           VU.Use = I;
           VU.Load = Use.LoadExpr;
-          for (TraceIdx P : PD.compute(I, Use, Config.OnePerPredicate)) {
-            switch (Verifier.verify(P, I, Use.LoadExpr)) {
+          std::vector<TraceIdx> Candidates =
+              PD.compute(I, Use, Config.OnePerPredicate);
+          std::vector<DepVerdict> Verdicts;
+          if (Batched) {
+            // The whole candidate set PD(u) as one batch: its switched
+            // runs are independent and fan out onto the pool.
+            std::vector<VerifyRequest> Requests;
+            Requests.reserve(Candidates.size());
+            for (TraceIdx P : Candidates)
+              Requests.push_back({P, I, Use.LoadExpr});
+            Verdicts = Scheduler.verifyBatch(Requests);
+          } else {
+            Verdicts.reserve(Candidates.size());
+            for (TraceIdx P : Candidates)
+              Verdicts.push_back(Verifier.verify(P, I, Use.LoadExpr));
+          }
+          for (size_t N = 0; N < Candidates.size(); ++N) {
+            switch (Verdicts[N]) {
             case DepVerdict::StrongImplicit:
-              VU.Strong.push_back(P);
+              VU.Strong.push_back(Candidates[N]);
               break;
             case DepVerdict::Implicit:
-              VU.Plain.push_back(P);
+              VU.Plain.push_back(Candidates[N]);
               break;
             case DepVerdict::NotImplicit:
               break;
@@ -114,30 +139,56 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
     // each winning predicate; per Figure 5 its purpose is to let
     // *verified-correct* dependents sanitize p during re-pruning, so only
     // those targets are considered.
-    for (TraceIdx P : Winners) {
+    //
+    // The fanout target sets depend only on the trace, the potential-
+    // dependence analysis, and the confidence state -- all fixed until
+    // the re-prune below -- so the whole round's requests can be
+    // collected up front and batched; edges are then committed in the
+    // same order the serial loop would have produced.
+    std::vector<VerifyRequest> FanoutRequests;
+    std::vector<size_t> FanoutBegin; // per winner, index into requests
+    if (Config.VerifyFanout) {
+      const std::vector<bool> &Slice = CA.wrongOutputSlice();
+      for (TraceIdx P : Winners) {
+        FanoutBegin.push_back(FanoutRequests.size());
+        for (TraceIdx TInst = 0; TInst < T.size(); ++TInst) {
+          if (TInst == ToCommit->Use || !Slice[TInst] ||
+              !CA.inferredCorrect(TInst))
+            continue;
+          for (const UseRecord &Use : T.step(TInst).Uses)
+            if (PD.isPotentialDep(P, TInst, Use))
+              FanoutRequests.push_back({P, TInst, Use.LoadExpr});
+        }
+      }
+      FanoutBegin.push_back(FanoutRequests.size());
+    }
+    std::vector<DepVerdict> FanoutVerdicts;
+    if (Batched) {
+      FanoutVerdicts = Scheduler.verifyBatch(FanoutRequests);
+    } else {
+      FanoutVerdicts.reserve(FanoutRequests.size());
+      for (const VerifyRequest &R : FanoutRequests)
+        FanoutVerdicts.push_back(
+            Verifier.verify(R.PredInst, R.UseInst, R.UseLoad));
+    }
+
+    for (size_t W = 0; W < Winners.size(); ++W) {
+      TraceIdx P = Winners[W];
       G.addImplicitEdge(ToCommit->Use, P, UseStrong);
       ++Report.ExpandedEdges;
       if (UseStrong)
         ++Report.StrongEdges;
       if (!Config.VerifyFanout)
         continue;
-      const std::vector<bool> &Slice = CA.wrongOutputSlice();
-      for (TraceIdx TInst = 0; TInst < T.size(); ++TInst) {
-        if (TInst == ToCommit->Use || !Slice[TInst] ||
-            !CA.inferredCorrect(TInst))
-          continue;
-        for (const UseRecord &Use : T.step(TInst).Uses) {
-          if (!PD.isPotentialDep(P, TInst, Use))
-            continue;
-          DepVerdict Verdict = Verifier.verify(P, TInst, Use.LoadExpr);
-          bool Matches = UseStrong ? Verdict == DepVerdict::StrongImplicit
-                                   : Verdict == DepVerdict::Implicit;
-          if (Matches) {
-            G.addImplicitEdge(TInst, P, UseStrong);
-            ++Report.ExpandedEdges;
-            if (UseStrong)
-              ++Report.StrongEdges;
-          }
+      for (size_t R = FanoutBegin[W]; R < FanoutBegin[W + 1]; ++R) {
+        DepVerdict Verdict = FanoutVerdicts[R];
+        bool Matches = UseStrong ? Verdict == DepVerdict::StrongImplicit
+                                 : Verdict == DepVerdict::Implicit;
+        if (Matches) {
+          G.addImplicitEdge(FanoutRequests[R].UseInst, P, UseStrong);
+          ++Report.ExpandedEdges;
+          if (UseStrong)
+            ++Report.StrongEdges;
         }
       }
     }

@@ -29,6 +29,7 @@
 #define EOE_CORE_LOCATEFAULT_H
 
 #include "core/VerifyDep.h"
+#include "core/VerifyScheduler.h"
 #include "ddg/DepGraph.h"
 #include "slicing/Confidence.h"
 #include "slicing/PotentialDeps.h"
@@ -53,6 +54,14 @@ struct LocateConfig {
   uint64_t MaxSteps = 2'000'000;
   /// Safety cap on expansion rounds.
   size_t MaxIterations = 200;
+  /// Verification scheduling. 0 = follow the verifier's configuration
+  /// (batched onto its pool when it has one). 1 = force the serial
+  /// reference path: candidates are verified one by one on the calling
+  /// thread exactly like the original engine, regardless of the
+  /// verifier's pool. Results are bit-identical either way (see
+  /// docs/parallelism.md); the serial path exists as the reference the
+  /// determinism tests compare against.
+  unsigned Threads = 0;
 };
 
 /// The paper's Table 3 row for one debugging session.

@@ -9,6 +9,8 @@
 
 #include <cassert>
 #include <deque>
+#include <functional>
+#include <set>
 
 using namespace eoe;
 using namespace eoe::core;
@@ -33,38 +35,146 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
                                          Config C)
     : Interp(Interp), E(E), Input(std::move(Input)), V(V), C(C) {}
 
-const ImplicitDepVerifier::SwitchedRun &
-ImplicitDepVerifier::switchedRunFor(TraceIdx PredInst) {
-  auto It = Runs.find(PredInst);
-  if (It != Runs.end())
-    return *It->second;
+ImplicitDepVerifier::~ImplicitDepVerifier() = default;
 
+unsigned ImplicitDepVerifier::effectiveThreads() const {
+  return C.Threads == 0 ? support::ThreadPool::defaultThreadCount()
+                        : C.Threads;
+}
+
+support::ThreadPool *ImplicitDepVerifier::pool() {
+  unsigned Threads = effectiveThreads();
+  if (Threads <= 1)
+    return nullptr;
+  std::call_once(PoolOnce, [&] {
+    Pool = std::make_unique<support::ThreadPool>(Threads);
+  });
+  return Pool.get();
+}
+
+ImplicitDepVerifier::SwitchedRun &
+ImplicitDepVerifier::cellFor(TraceIdx PredInst) {
+  std::lock_guard<std::mutex> Lock(RunsMutex);
+  std::unique_ptr<SwitchedRun> &Slot = Runs[PredInst];
+  if (!Slot)
+    Slot = std::make_unique<SwitchedRun>();
+  return *Slot;
+}
+
+void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
+                                             SwitchedRun &Run) {
   const StepRecord &P = E.step(PredInst);
   assert(P.isPredicateInstance() && "can only switch predicates");
   SwitchSpec Spec{P.Stmt, P.InstanceNo};
 
-  auto Run = std::make_unique<SwitchedRun>();
-  Run->Trace = Interp.runSwitched(Input, Spec, C.MaxSteps);
-  ++Reexecutions;
-  Run->Aligner = std::make_unique<align::ExecutionAligner>(E, Run->Trace);
-  return *Runs.emplace(PredInst, std::move(Run)).first->second;
+  Interpreter::Options Opts;
+  Opts.MaxSteps = C.MaxSteps;
+  Opts.Switch = Spec;
+  {
+    ExecContextPool::Lease Ctx = Arena.acquire();
+    Run.Trace = Interp.run(Input, Opts, *Ctx);
+  }
+  Reexecutions.fetch_add(1, std::memory_order_relaxed);
+  Run.Aligner = std::make_unique<align::ExecutionAligner>(E, Run.Trace);
+  Run.Ready.store(true, std::memory_order_release);
+}
+
+const ImplicitDepVerifier::SwitchedRun &
+ImplicitDepVerifier::switchedRunFor(TraceIdx PredInst) {
+  SwitchedRun &Run = cellFor(PredInst);
+  std::call_once(Run.Computed, [&] { computeSwitchedRun(PredInst, Run); });
+  return Run;
+}
+
+bool ImplicitDepVerifier::hasSwitchedRun(TraceIdx PredInst) const {
+  std::lock_guard<std::mutex> Lock(RunsMutex);
+  auto It = Runs.find(PredInst);
+  return It != Runs.end() && It->second->Ready.load(std::memory_order_acquire);
+}
+
+void ImplicitDepVerifier::prepareSwitchedRuns(
+    const std::vector<TraceIdx> &Preds) {
+  // Dedup; cached runs need no task at all.
+  std::vector<TraceIdx> Todo;
+  std::set<TraceIdx> Seen;
+  for (TraceIdx P : Preds)
+    if (!hasSwitchedRun(P) && Seen.insert(P).second)
+      Todo.push_back(P);
+  if (Todo.empty())
+    return;
+
+  support::ThreadPool *TP = pool();
+  if (!TP || Todo.size() == 1) {
+    for (TraceIdx P : Todo)
+      switchedRunFor(P);
+    return;
+  }
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(Todo.size());
+  for (TraceIdx P : Todo)
+    Tasks.push_back([this, P] { switchedRunFor(P); });
+  TP->runAll(std::move(Tasks));
 }
 
 const ExecutionTrace *
 ImplicitDepVerifier::switchedRun(TraceIdx PredInst) const {
+  std::lock_guard<std::mutex> Lock(RunsMutex);
   auto It = Runs.find(PredInst);
-  return It == Runs.end() ? nullptr : &It->second->Trace;
+  if (It == Runs.end() || !It->second->Ready.load(std::memory_order_acquire))
+    return nullptr;
+  return &It->second->Trace;
+}
+
+const std::vector<bool> &
+ImplicitDepVerifier::reachableFromSwitch(SwitchedRun &Run) {
+  std::call_once(Run.ReachableOnce, [&] {
+    const ExecutionTrace &EP = Run.Trace;
+    // Forward flood over data and control edges from the switched
+    // instance. Edges can point forward in index space (call/return),
+    // so iterate a worklist over a prebuilt dependents index.
+    std::vector<std::vector<TraceIdx>> Dependents(EP.size());
+    for (TraceIdx I = 0; I < EP.size(); ++I) {
+      for (const UseRecord &U : EP.step(I).Uses)
+        if (U.Def != InvalidId)
+          Dependents[U.Def].push_back(I);
+      if (EP.step(I).CdParent != InvalidId)
+        Dependents[EP.step(I).CdParent].push_back(I);
+    }
+    Run.ReachableFromSwitch.assign(EP.size(), false);
+    std::deque<TraceIdx> Flood{EP.SwitchedStep};
+    Run.ReachableFromSwitch[EP.SwitchedStep] = true;
+    while (!Flood.empty()) {
+      TraceIdx I = Flood.front();
+      Flood.pop_front();
+      for (TraceIdx D : Dependents[I]) {
+        if (!Run.ReachableFromSwitch[D]) {
+          Run.ReachableFromSwitch[D] = true;
+          Flood.push_back(D);
+        }
+      }
+    }
+  });
+  return Run.ReachableFromSwitch;
 }
 
 DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
                                        ExprId UseLoad) {
   auto Key = std::make_tuple(PredInst, UseInst, UseLoad);
-  auto Cached = VerdictCache.find(Key);
-  if (Cached != VerdictCache.end())
-    return Cached->second;
-  ++Verifications;
+  {
+    std::lock_guard<std::mutex> Lock(VerdictMutex);
+    auto Cached = VerdictCache.find(Key);
+    if (Cached != VerdictCache.end())
+      return Cached->second;
+  }
 
-  const SwitchedRun &Run = switchedRunFor(PredInst);
+  // Compute outside the verdict lock: the switched-run cache has its own
+  // synchronization and the verdict logic only reads immutable state, so
+  // concurrent verifications of different keys proceed in parallel. A
+  // rare duplicate computation of the same key yields the same verdict
+  // (it is a pure function) and is deduplicated at insert below.
+  SwitchedRun &MutRun = cellFor(PredInst);
+  std::call_once(MutRun.Computed, [&] { computeSwitchedRun(PredInst, MutRun); });
+  const SwitchedRun &Run = MutRun;
   const ExecutionTrace &EP = Run.Trace;
   const align::ExecutionAligner &A = *Run.Aligner;
 
@@ -126,35 +236,7 @@ DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
     if (C.UsePathCheck) {
       // Definition 2(ii) verbatim: an explicit dependence path between
       // p' and u' in the switched run.
-      SwitchedRun &MutRun = *Runs.find(PredInst)->second;
-      if (!MutRun.ReachableBuilt) {
-        // Forward flood over data and control edges from the switched
-        // instance. Edges can point forward in index space (call/return),
-        // so iterate a worklist over a prebuilt dependents index.
-        std::vector<std::vector<TraceIdx>> Dependents(EP.size());
-        for (TraceIdx I = 0; I < EP.size(); ++I) {
-          for (const UseRecord &U : EP.step(I).Uses)
-            if (U.Def != InvalidId)
-              Dependents[U.Def].push_back(I);
-          if (EP.step(I).CdParent != InvalidId)
-            Dependents[EP.step(I).CdParent].push_back(I);
-        }
-        MutRun.ReachableFromSwitch.assign(EP.size(), false);
-        std::deque<TraceIdx> Flood{EP.SwitchedStep};
-        MutRun.ReachableFromSwitch[EP.SwitchedStep] = true;
-        while (!Flood.empty()) {
-          TraceIdx I = Flood.front();
-          Flood.pop_front();
-          for (TraceIdx D : Dependents[I]) {
-            if (!MutRun.ReachableFromSwitch[D]) {
-              MutRun.ReachableFromSwitch[D] = true;
-              Flood.push_back(D);
-            }
-          }
-        }
-        MutRun.ReachableBuilt = true;
-      }
-      if (MutRun.ReachableFromSwitch[UMatch.Matched])
+      if (reachableFromSwitch(MutRun)[UMatch.Matched])
         Verdict = DepVerdict::Implicit;
       break;
     }
@@ -163,6 +245,13 @@ DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
       Verdict = DepVerdict::Implicit;
   } while (false);
 
-  VerdictCache.emplace(Key, Verdict);
-  return Verdict;
+  {
+    std::lock_guard<std::mutex> Lock(VerdictMutex);
+    auto [It, Inserted] = VerdictCache.emplace(Key, Verdict);
+    // Count distinct verifications only, exactly like the serial engine:
+    // a racing duplicate keeps the first verdict and is not re-counted.
+    if (Inserted)
+      Verifications.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
 }

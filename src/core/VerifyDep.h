@@ -25,17 +25,32 @@
 /// A switched run that exhausts its step budget or crashes simply fails
 /// to produce matches, which the paper treats as "verification fails".
 ///
+/// Concurrency: the verifier is safe to call from multiple threads. The
+/// switched-run cache is a mutex-guarded map of once-initialized cells,
+/// so one re-execution serves every use verified against the same
+/// predicate instance even under concurrent demand; verdicts are
+/// memoized under a second mutex. Each re-execution leases recycled
+/// interpreter state from an internal ExecContextPool. Verdicts are pure
+/// functions of (program, input, switched predicate instance, use), so
+/// results -- and the Verifications / Reexecutions counters, which count
+/// distinct keys -- are bit-identical regardless of thread count or
+/// verification order.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EOE_CORE_VERIFYDEP_H
 #define EOE_CORE_VERIFYDEP_H
 
 #include "align/Aligner.h"
+#include "interp/ExecContext.h"
 #include "interp/Interpreter.h"
 #include "slicing/OutputVerdicts.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace eoe {
 namespace core {
@@ -62,6 +77,12 @@ public:
     /// candidates per step (section 3.2). Enable this to use the safe
     /// path check instead.
     bool UsePathCheck = false;
+    /// Worker threads for batched verification (VerifyScheduler /
+    /// prepareSwitchedRuns). 0 = hardware_concurrency. 1 disables the
+    /// pool entirely: every re-execution happens on the calling thread,
+    /// which is the serial reference path. The pool is created lazily,
+    /// so plain verify()-only users never spawn threads.
+    unsigned Threads = 0;
   };
 
   /// \p E must be the unswitched trace of running \p Input.
@@ -69,33 +90,65 @@ public:
                       const interp::ExecutionTrace &E,
                       std::vector<int64_t> Input,
                       const slicing::OutputVerdicts &V, Config C);
+  ~ImplicitDepVerifier();
 
   /// VerifyDep(p, u): does the use at (\p UseInst, \p UseLoad) implicitly
-  /// depend on predicate instance \p PredInst?
+  /// depend on predicate instance \p PredInst? Thread-safe.
   DepVerdict verify(TraceIdx PredInst, TraceIdx UseInst, ExprId UseLoad);
 
+  /// Warm-up for a batch: runs the switched re-executions (and builds the
+  /// alignments) for every predicate instance in \p Preds that has no
+  /// cached run yet, concurrently on the pool when one is configured.
+  /// After this, verify() against those predicates is re-execution-free.
+  /// Exceptions from worker tasks propagate to the caller.
+  void prepareSwitchedRuns(const std::vector<TraceIdx> &Preds);
+
+  /// True once \p PredInst's switched run is cached (no re-execution
+  /// would be needed to verify against it).
+  bool hasSwitchedRun(TraceIdx PredInst) const;
+
+  /// The pool used for batched verification; nullptr when the effective
+  /// thread count is 1 (serial mode). Created on first use.
+  support::ThreadPool *pool();
+
+  /// The configured thread count with the 0 = hardware default resolved.
+  unsigned effectiveThreads() const;
+
   /// Number of distinct (p, u) verifications performed (Table 3).
-  size_t verificationCount() const { return Verifications; }
+  size_t verificationCount() const {
+    return Verifications.load(std::memory_order_relaxed);
+  }
 
   /// Number of switched re-executions actually run (Table 4's Verif cost
   /// driver; smaller than verificationCount thanks to caching).
-  size_t reexecutionCount() const { return Reexecutions; }
+  size_t reexecutionCount() const {
+    return Reexecutions.load(std::memory_order_relaxed);
+  }
 
   /// The switched run used to verify against \p PredInst (for reports).
   const interp::ExecutionTrace *switchedRun(TraceIdx PredInst) const;
 
 private:
+  /// One cached switched run. Cells are created under RunsMutex but
+  /// computed outside it via call_once, so concurrent demands for
+  /// *different* predicates re-execute in parallel while concurrent
+  /// demands for the *same* predicate share one re-execution.
   struct SwitchedRun {
+    std::once_flag Computed;
+    std::atomic<bool> Ready{false};
     interp::ExecutionTrace Trace;
     std::unique_ptr<align::ExecutionAligner> Aligner;
     /// Instances explicitly (data/control) reachable from the switched
     /// predicate in the switched run; built on demand for the path
     /// check.
+    std::once_flag ReachableOnce;
     std::vector<bool> ReachableFromSwitch;
-    bool ReachableBuilt = false;
   };
 
+  SwitchedRun &cellFor(TraceIdx PredInst);
   const SwitchedRun &switchedRunFor(TraceIdx PredInst);
+  void computeSwitchedRun(TraceIdx PredInst, SwitchedRun &Run);
+  const std::vector<bool> &reachableFromSwitch(SwitchedRun &Run);
 
   const interp::Interpreter &Interp;
   const interp::ExecutionTrace &E;
@@ -103,10 +156,18 @@ private:
   const slicing::OutputVerdicts &V;
   Config C;
 
+  mutable std::mutex RunsMutex;
   std::map<TraceIdx, std::unique_ptr<SwitchedRun>> Runs;
+  std::mutex VerdictMutex;
   std::map<std::tuple<TraceIdx, TraceIdx, ExprId>, DepVerdict> VerdictCache;
-  size_t Verifications = 0;
-  size_t Reexecutions = 0;
+  std::atomic<size_t> Verifications{0};
+  std::atomic<size_t> Reexecutions{0};
+
+  /// Recycled per-run interpreter state for switched re-executions.
+  interp::ExecContextPool Arena;
+
+  std::once_flag PoolOnce;
+  std::unique_ptr<support::ThreadPool> Pool;
 };
 
 } // namespace core

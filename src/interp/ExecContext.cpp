@@ -1,0 +1,64 @@
+//===-- interp/ExecContext.cpp - Reusable execution state ---------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecContext.h"
+
+using namespace eoe;
+using namespace eoe::interp;
+
+void ExecContext::beginRun(size_t StmtCount, size_t GlobalSlots) {
+  GlobalMem.assign(GlobalSlots, 0);
+  GlobalLastDef.assign(GlobalSlots, InvalidId);
+  InstCount.assign(StmtCount, 0);
+}
+
+ExecFrame ExecContext::takeFrame() {
+  if (FreeFrames.empty())
+    return ExecFrame();
+  ExecFrame F = std::move(FreeFrames.back());
+  FreeFrames.pop_back();
+  return F;
+}
+
+void ExecContext::recycleFrame(ExecFrame &&F) {
+  F.Func = nullptr;
+  F.Mem.clear();
+  F.LastDef.clear();
+  F.LastPredInstance.clear();
+  F.RetVal = 0;
+  F.RetValDef = InvalidId;
+  F.CallSite = InvalidId;
+  F.Serial = 0;
+  FreeFrames.push_back(std::move(F));
+}
+
+void ExecContext::noteTraceSize(size_t Steps) {
+  if (Steps > StepsHint)
+    StepsHint = Steps;
+}
+
+ExecContextPool::Lease ExecContextPool::acquire() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Free.empty()) {
+      std::unique_ptr<ExecContext> Ctx = std::move(Free.back());
+      Free.pop_back();
+      return Lease(*this, std::move(Ctx));
+    }
+  }
+  return Lease(*this, std::make_unique<ExecContext>());
+}
+
+size_t ExecContextPool::idleCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Free.size();
+}
+
+void ExecContextPool::release(std::unique_ptr<ExecContext> Ctx) {
+  std::lock_guard<std::mutex> Lock(M);
+  Free.push_back(std::move(Ctx));
+}

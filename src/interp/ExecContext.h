@@ -1,0 +1,135 @@
+//===-- interp/ExecContext.h - Reusable execution state ----------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-run mutable interpreter state, extracted from the interpreter so
+/// that (a) concurrent switched re-executions share nothing mutable and
+/// (b) the allocations a run churns through -- activation records, shadow
+/// last-writer tables, instance counters -- are recycled across runs
+/// instead of being malloc'd fresh every time. The demand-driven verifier
+/// issues thousands of switched re-executions over the same program; an
+/// ExecContext turns each run's setup into a handful of O(1)-amortized
+/// buffer clears.
+///
+/// ExecContext is single-threaded: one context serves one run at a time.
+/// ExecContextPool is the thread-safe arena handing contexts to parallel
+/// verification tasks (acquire returns an RAII lease; releasing returns
+/// the context, with its grown buffers, to the freelist).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_INTERP_EXECCONTEXT_H
+#define EOE_INTERP_EXECCONTEXT_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace eoe {
+
+namespace lang {
+class Function;
+}
+
+namespace interp {
+
+/// One activation record. Lives here (not in the interpreter's .cpp) so
+/// the context can pool frames across runs; the vectors and the map keep
+/// their capacity through recycling.
+struct ExecFrame {
+  uint64_t Serial = 0;
+  const lang::Function *Func = nullptr;
+  std::vector<int64_t> Mem;
+  std::vector<TraceIdx> LastDef;
+  int64_t RetVal = 0;
+  TraceIdx RetValDef = InvalidId;
+  /// The instance of the calling statement; InvalidId for main.
+  TraceIdx CallSite = InvalidId;
+  /// Most recent instance of each predicate executed in this invocation,
+  /// used to resolve dynamic control-dependence parents.
+  std::unordered_map<StmtId, TraceIdx> LastPredInstance;
+};
+
+/// Reusable buffers for one interpreter run. Not thread-safe; lease one
+/// per concurrent run from an ExecContextPool.
+class ExecContext {
+public:
+  /// Resets the global-memory and instance-count buffers for a program
+  /// with \p StmtCount statements and \p GlobalSlots global memory slots.
+  void beginRun(size_t StmtCount, size_t GlobalSlots);
+
+  /// Pops a cleared frame from the freelist (or makes a fresh one).
+  ExecFrame takeFrame();
+
+  /// Returns a finished frame to the freelist, keeping its capacity.
+  void recycleFrame(ExecFrame &&F);
+
+  /// Records a finished run's trace length; the next run reserves step
+  /// storage up front instead of growth-doubling through it.
+  void noteTraceSize(size_t Steps);
+
+  /// Reservation hint for ExecutionTrace::Steps (0 on a fresh context).
+  size_t stepsHint() const { return StepsHint; }
+
+  // Shadow state the engine works on directly.
+  std::vector<int64_t> GlobalMem;
+  std::vector<TraceIdx> GlobalLastDef;
+  std::vector<uint32_t> InstCount;
+
+private:
+  std::vector<ExecFrame> FreeFrames;
+  size_t StepsHint = 0;
+};
+
+/// Thread-safe arena of ExecContexts. Contexts are created on demand and
+/// recycled on release, so steady-state parallel verification runs with
+/// at most pool-width contexts and no per-run allocation of the shadow
+/// state.
+class ExecContextPool {
+public:
+  /// RAII lease; returns the context to the pool on destruction.
+  class Lease {
+  public:
+    Lease(ExecContextPool &Pool, std::unique_ptr<ExecContext> Ctx)
+        : Pool(&Pool), Ctx(std::move(Ctx)) {}
+    Lease(Lease &&) = default;
+    Lease &operator=(Lease &&) = default;
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+    ~Lease() {
+      if (Ctx)
+        Pool->release(std::move(Ctx));
+    }
+
+    ExecContext &operator*() { return *Ctx; }
+    ExecContext *operator->() { return Ctx.get(); }
+
+  private:
+    ExecContextPool *Pool;
+    std::unique_ptr<ExecContext> Ctx;
+  };
+
+  Lease acquire();
+
+  /// Number of idle contexts currently pooled (for tests).
+  size_t idleCount() const;
+
+private:
+  void release(std::unique_ptr<ExecContext> Ctx);
+
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<ExecContext>> Free;
+};
+
+} // namespace interp
+} // namespace eoe
+
+#endif // EOE_INTERP_EXECCONTEXT_H

@@ -40,28 +40,25 @@ int64_t wrapNeg(int64_t A) {
 /// Statement-level control flow outcome.
 enum class Flow { Normal, Break, Continue, Return, Halt };
 
-/// One activation record.
-struct Frame {
-  uint64_t Serial = 0;
-  const Function *Func = nullptr;
-  std::vector<int64_t> Mem;
-  std::vector<TraceIdx> LastDef;
-  int64_t RetVal = 0;
-  TraceIdx RetValDef = InvalidId;
-  /// The instance of the calling statement; InvalidId for main.
-  TraceIdx CallSite = InvalidId;
-  /// Most recent instance of each predicate executed in this invocation,
-  /// used to resolve dynamic control-dependence parents.
-  std::unordered_map<StmtId, TraceIdx> LastPredInstance;
-};
+/// One activation record: interp::ExecFrame, pooled by the run's
+/// ExecContext so recursive calls stop malloc-thrashing across the
+/// verifier's many re-executions.
+using Frame = ExecFrame;
 
-/// The mutable interpretation engine for a single run.
+/// The mutable interpretation engine for a single run. All reusable
+/// per-run state (shadow memory, instance counters, the frame freelist)
+/// lives in the caller-provided ExecContext; the engine itself only owns
+/// the trace it is building.
 class Engine {
 public:
   Engine(const Program &Prog, const analysis::StaticAnalysis &SA,
-         const std::vector<int64_t> &Input, const Interpreter::Options &Opts)
-      : Prog(Prog), SA(SA), Input(Input), Opts(Opts), Tracing(Opts.Trace) {
-    InstCount.assign(Prog.statements().size(), 0);
+         const std::vector<int64_t> &Input, const Interpreter::Options &Opts,
+         ExecContext &Ctx)
+      : Prog(Prog), SA(SA), Input(Input), Opts(Opts), Ctx(Ctx),
+        GlobalMem(Ctx.GlobalMem), GlobalLastDef(Ctx.GlobalLastDef),
+        InstCount(Ctx.InstCount), Tracing(Opts.Trace) {
+    Ctx.beginRun(Prog.statements().size(), Prog.globalSlots());
+    Trace.Steps.reserve(Ctx.stepsHint());
   }
 
   ExecutionTrace run() {
@@ -71,7 +68,9 @@ public:
       Flow F = execBody(Prog.function(Prog.mainFunction())->body(), Main);
       if (F == Flow::Return || F == Flow::Normal)
         Trace.ExitValue = Main.RetVal;
+      Ctx.recycleFrame(std::move(Main));
     }
+    Ctx.noteTraceSize(Trace.Steps.size());
     return std::move(Trace);
   }
 
@@ -80,11 +79,12 @@ private:
   const analysis::StaticAnalysis &SA;
   const std::vector<int64_t> &Input;
   const Interpreter::Options &Opts;
+  ExecContext &Ctx;
 
   ExecutionTrace Trace;
-  std::vector<int64_t> GlobalMem;
-  std::vector<TraceIdx> GlobalLastDef;
-  std::vector<uint32_t> InstCount;
+  std::vector<int64_t> &GlobalMem;
+  std::vector<TraceIdx> &GlobalLastDef;
+  std::vector<uint32_t> &InstCount;
   size_t InputCursor = 0;
   uint64_t FrameCounter = 0;
   uint64_t StepCount = 0;
@@ -149,8 +149,7 @@ private:
   //===--------------------------------------------------------------------===//
 
   void initGlobals() {
-    GlobalMem.assign(Prog.globalSlots(), 0);
-    GlobalLastDef.assign(Prog.globalSlots(), InvalidId);
+    // GlobalMem / GlobalLastDef / InstCount were reset by beginRun().
     for (VarDeclStmt *G : Prog.globals()) {
       const VarInfo &Info = Prog.variable(G->var());
       TraceIdx Idx = InvalidId;
@@ -218,7 +217,7 @@ private:
   }
 
   Frame makeFrame(const Function &Func, TraceIdx CallSite) {
-    Frame F;
+    Frame F = Ctx.takeFrame();
     F.Serial = ++FrameCounter;
     F.Func = &Func;
     F.Mem.assign(Func.frameSlots(), 0);
@@ -355,15 +354,19 @@ private:
     }
 
     execBody(Callee.body(), Inner);
-    if (Halted)
+    if (Halted) {
+      Ctx.recycleFrame(std::move(Inner));
       return 0;
+    }
 
     // The return-value read: data-depends on the executed return.
     if (Rec != InvalidId)
       Trace.Steps[Rec].Uses.push_back({MemLoc::retVal(Inner.Serial),
                                        Inner.RetValDef, Call->id(),
                                        /*Var=*/InvalidId, Inner.RetVal});
-    return Inner.RetVal;
+    int64_t RetVal = Inner.RetVal;
+    Ctx.recycleFrame(std::move(Inner));
+    return RetVal;
   }
 
   //===--------------------------------------------------------------------===//
@@ -537,7 +540,13 @@ Interpreter::Interpreter(const Program &Prog,
 
 ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
                                 const Options &Opts) const {
-  Engine E(Prog, Analysis, Input, Opts);
+  ExecContext Ctx;
+  return run(Input, Opts, Ctx);
+}
+
+ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
+                                const Options &Opts, ExecContext &Ctx) const {
+  Engine E(Prog, Analysis, Input, Opts, Ctx);
   return E.run();
 }
 

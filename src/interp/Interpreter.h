@@ -22,6 +22,7 @@
 #define EOE_INTERP_INTERPRETER_H
 
 #include "analysis/StaticAnalysis.h"
+#include "interp/ExecContext.h"
 #include "interp/Trace.h"
 #include "lang/AST.h"
 
@@ -60,6 +61,13 @@ public:
   /// Runs the program on \p Input and returns the trace.
   ExecutionTrace run(const std::vector<int64_t> &Input,
                      const Options &Opts) const;
+
+  /// Same, executing on \p Ctx's recycled buffers. The interpreter itself
+  /// is immutable, so concurrent runs are safe as long as each supplies
+  /// its own context (the parallel verification engine leases one per
+  /// task from an ExecContextPool).
+  ExecutionTrace run(const std::vector<int64_t> &Input, const Options &Opts,
+                     ExecContext &Ctx) const;
 
   /// Runs with default options (no switch, default step budget).
   ExecutionTrace run(const std::vector<int64_t> &Input) const {

@@ -1,0 +1,80 @@
+//===-- support/ThreadPool.cpp - Fixed-size worker pool -----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <exception>
+
+using namespace eoe;
+using namespace eoe::support;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = 1;
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::packaged_task<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task(); // Exceptions land in the task's future.
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Task) {
+  std::packaged_task<void()> Packaged(std::move(Task));
+  std::future<void> Result = Packaged.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.push_back(std::move(Packaged));
+  }
+  QueueCV.notify_one();
+  return Result;
+}
+
+void ThreadPool::runAll(std::vector<std::function<void()>> Tasks) {
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Tasks.size());
+  for (std::function<void()> &T : Tasks)
+    Futures.push_back(submit(std::move(T)));
+  std::exception_ptr First;
+  for (std::future<void> &F : Futures) {
+    try {
+      F.get();
+    } catch (...) {
+      if (!First)
+        First = std::current_exception();
+    }
+  }
+  if (First)
+    std::rethrow_exception(First);
+}
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}

@@ -1,0 +1,80 @@
+//===-- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size std::thread pool with a single FIFO queue -- deliberately
+/// work-stealing-free. The consumers (the parallel verification engine)
+/// submit batches of coarse-grained, mutually independent tasks (one
+/// switched re-execution + alignment each), so a shared queue has no
+/// contention worth optimizing away and keeps completion order reasoning
+/// trivial.
+///
+/// Contract:
+///  - submit() returns a std::future<void>; an exception escaping the
+///    task is captured and rethrown from future::get().
+///  - The destructor *drains*: every task submitted before destruction
+///    runs to completion before the workers join. Tasks are never
+///    silently dropped (a dropped packaged_task would surface as a
+///    broken-promise future in a waiting scheduler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_THREADPOOL_H
+#define EOE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eoe {
+namespace support {
+
+/// Fixed-size worker pool over one FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p ThreadCount workers (clamped to at least 1).
+  explicit ThreadPool(unsigned ThreadCount);
+
+  /// Drains the queue (all submitted tasks run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task. The returned future completes when the task has
+  /// run; it rethrows any exception the task let escape.
+  std::future<void> submit(std::function<void()> Task);
+
+  /// Submits every thunk and waits for all of them. The first exception
+  /// (in submission order) is rethrown after every task has finished, so
+  /// no task is left running against destroyed captures.
+  void runAll(std::vector<std::function<void()>> Tasks);
+
+  /// The Threads=0 default: hardware_concurrency, at least 1.
+  static unsigned defaultThreadCount();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::packaged_task<void()>> Queue;
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  bool Stopping = false;
+};
+
+} // namespace support
+} // namespace eoe
+
+#endif // EOE_SUPPORT_THREADPOOL_H

@@ -50,6 +50,7 @@ FaultRunner::makeSession(const Options &Opts) const {
   C.Locate.VerifyFanout = Opts.VerifyFanout;
   C.Locate.OnePerPredicate = Opts.OnePerPredicate;
   C.Locate.UsePathCheck = Opts.UsePathCheck;
+  C.Threads = Opts.Threads;
   return std::make_unique<DebugSession>(*Faulty, Fault.FailingInput, Expected,
                                         Fault.TestSuite, C);
 }

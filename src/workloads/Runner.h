@@ -83,6 +83,9 @@ public:
     /// Skip the (slow) relevant-slice computation when only Table 3 is
     /// needed.
     bool ComputeSlices = true;
+    /// Verification engine threads (DebugSession::Config::Threads):
+    /// 0 = hardware default, 1 = serial reference engine.
+    unsigned Threads = 0;
   };
 
   explicit FaultRunner(const FaultInfo &Fault);

@@ -1,0 +1,141 @@
+//===-- tests/ParallelDeterminismTest.cpp - Threads=1 vs Threads=4 ------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// The parallel verification engine's contract: locateFault with Threads=4
+// is *bit-identical* to the serial reference engine (Threads=1) -- same
+// Table 3 counters, same verified implicit edges in the same order, same
+// final pruned slice -- on randomly generated omission faults. Only
+// wall-clock time may differ.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DebugSession.h"
+#include "lang/Parser.h"
+#include "RandomProgram.h"
+#include "support/Diagnostic.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace eoe;
+using namespace eoe::interp;
+using namespace eoe::test;
+
+namespace {
+
+class RootOnlyOracle : public slicing::Oracle {
+public:
+  explicit RootOnlyOracle(StmtId Root) : Root(Root) {}
+  bool isBenign(TraceIdx) override { return false; }
+  bool isRootCause(StmtId S) override { return S == Root; }
+
+private:
+  StmtId Root;
+};
+
+/// Everything a locate() run produces that must be thread-count
+/// invariant.
+struct LocateOutcome {
+  core::LocateReport Report;
+  std::vector<ddg::DepGraph::ImplicitEdge> Edges;
+  std::vector<bool> Chain;
+};
+
+LocateOutcome locateWithThreads(const lang::Program &Faulty,
+                                const std::vector<int64_t> &Input,
+                                const std::vector<int64_t> &Expected,
+                                StmtId Root, unsigned Threads) {
+  core::DebugSession::Config C;
+  C.Threads = Threads;
+  core::DebugSession Session(Faulty, Input, Expected, {}, C);
+  EXPECT_TRUE(Session.hasFailure());
+  RootOnlyOracle Oracle(Root);
+  LocateOutcome O;
+  O.Report = Session.locate(Oracle);
+  O.Edges = Session.graph().implicitEdges();
+  O.Chain = Session.failureChain(Root);
+  return O;
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDeterminism, SerialAndParallelLocateAreBitIdentical) {
+  RandomProgramGenerator Gen(GetParam());
+  auto Variant = Gen.generateOmission();
+
+  DiagnosticEngine Diags;
+  auto Fixed = lang::parseAndCheck(Variant.FixedSource, Diags);
+  ASSERT_TRUE(Fixed) << Diags.str();
+  auto Faulty = lang::parseAndCheck(Variant.FaultySource, Diags);
+  ASSERT_TRUE(Faulty) << Diags.str();
+
+  analysis::StaticAnalysis FixedSA(*Fixed);
+  Interpreter FixedInterp(*Fixed, FixedSA);
+  ExecutionTrace FixedRun = FixedInterp.run(Variant.Input);
+  ASSERT_EQ(FixedRun.Exit, ExitReason::Finished);
+  std::vector<int64_t> Expected = FixedRun.outputValues();
+
+  {
+    // Masked faults have nothing to locate; mirror RandomOmissionTest.
+    core::DebugSession Probe(*Faulty, Variant.Input, Expected, {});
+    if (!Probe.hasFailure())
+      GTEST_SKIP() << "fault masked by later definitions";
+  }
+
+  StmtId Root = Faulty->statementAtLine(Variant.RootCauseLine);
+  ASSERT_TRUE(isValidId(Root));
+
+  LocateOutcome Serial =
+      locateWithThreads(*Faulty, Variant.Input, Expected, Root, 1);
+  LocateOutcome Parallel =
+      locateWithThreads(*Faulty, Variant.Input, Expected, Root, 4);
+
+  const char *Seed = "seed ";
+  // Table 3 counters.
+  EXPECT_EQ(Serial.Report.RootCauseFound, Parallel.Report.RootCauseFound)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.UserPrunings, Parallel.Report.UserPrunings)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.Verifications, Parallel.Report.Verifications)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.Reexecutions, Parallel.Report.Reexecutions)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.Iterations, Parallel.Report.Iterations)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.ExpandedEdges, Parallel.Report.ExpandedEdges)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.StrongEdges, Parallel.Report.StrongEdges)
+      << Seed << GetParam();
+
+  // The final pruned slice (IPS): same instances in the same rank order.
+  EXPECT_EQ(Serial.Report.FinalPrunedSlice, Parallel.Report.FinalPrunedSlice)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.IPSStats.StaticStmts,
+            Parallel.Report.IPSStats.StaticStmts)
+      << Seed << GetParam();
+  EXPECT_EQ(Serial.Report.IPSStats.DynamicInstances,
+            Parallel.Report.IPSStats.DynamicInstances)
+      << Seed << GetParam();
+
+  // Verdicts, observed through the verified implicit edges: same edges,
+  // same strong/plain classification, same insertion order.
+  ASSERT_EQ(Serial.Edges.size(), Parallel.Edges.size()) << Seed << GetParam();
+  for (size_t I = 0; I < Serial.Edges.size(); ++I) {
+    EXPECT_EQ(Serial.Edges[I].Use, Parallel.Edges[I].Use)
+        << Seed << GetParam() << " edge " << I;
+    EXPECT_EQ(Serial.Edges[I].Pred, Parallel.Edges[I].Pred)
+        << Seed << GetParam() << " edge " << I;
+    EXPECT_EQ(Serial.Edges[I].Strong, Parallel.Edges[I].Strong)
+        << Seed << GetParam() << " edge " << I;
+  }
+
+  // And the derived failure-inducing chain (OS) agrees.
+  EXPECT_EQ(Serial.Chain, Parallel.Chain) << Seed << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
+                         ::testing::Range<uint64_t>(100, 110));
+
+} // namespace

@@ -47,6 +47,7 @@ struct CliOptions {
   std::vector<int64_t> Input;
   std::vector<int64_t> Expected;
   uint64_t MaxSteps = 5'000'000;
+  unsigned Threads = 0;
   uint32_t Line = 0;
   uint32_t Instance = 1;
   uint32_t RootLine = 0;
@@ -76,6 +77,8 @@ void usage() {
       "  --instance K          1-based instance number (default 1)\n"
       "  --root-line N         known root cause line (locate)\n"
       "  --max-steps N         step budget (default 5000000)\n"
+      "  --threads N           verification worker threads (locate);\n"
+      "                        0 = all hardware threads, 1 = serial\n"
       "  --no-trace            run without dependence tracing (run)\n");
 }
 
@@ -133,6 +136,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.MaxSteps = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--save") {
       const char *V = Next();
       if (!V)
@@ -322,7 +330,10 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
     std::fprintf(stderr, "error: no statement on line %u\n", Opts.RootLine);
     return 2;
   }
-  core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {});
+  core::DebugSession::Config Config;
+  Config.MaxSteps = Opts.MaxSteps;
+  Config.Threads = Opts.Threads;
+  core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
     std::printf("no failure: outputs match the expected sequence\n");
     return 0;
