@@ -9,6 +9,7 @@
 #define EOE_BENCH_BENCHUTIL_H
 
 #include "ddg/DepGraph.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -42,6 +43,19 @@ inline void banner(const char *Title) {
               "===============\n%s\n============================================="
               "==================================\n",
               Title);
+}
+
+/// Dumps the per-phase statistics a bench collected through a
+/// support::StatsRegistry, under its own banner so the numbers sit next
+/// to the paper-table output. Prints nothing when the registry is empty,
+/// so benches can call it unconditionally.
+inline void dumpStats(const support::StatsRegistry &Stats,
+                      const char *Title = "Per-phase pipeline statistics") {
+  support::StatsSnapshot S = Stats.snapshot();
+  if (S.Counters.empty() && S.Timers.empty() && S.Histograms.empty())
+    return;
+  banner(Title);
+  std::printf("%s", Stats.str().c_str());
 }
 
 } // namespace bench

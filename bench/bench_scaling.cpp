@@ -19,6 +19,7 @@
 #include "interp/Interpreter.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -55,11 +56,16 @@ int main() {
   bench::banner("Scaling: per-phase cost vs trace length "
                 "(all phases are expected to grow linearly)");
 
-  Table T({"loop iters", "trace len", "trace (ms)", "regions (ms)",
-           "verify once (ms)", "slice (ms)"});
+  Table T({"loop iters", "trace len", "trace (ms)", "trace+stats (ms)",
+           "regions (ms)", "verify once (ms)", "slice (ms)"});
   double PrevVerify = 0;
   bool Linearish = true;
   int PrevIters = 0;
+  // The observability layer's contract is that a null registry costs one
+  // pointer branch; the trace+stats column lets the log show the enabled
+  // cost is itself within run-to-run noise, which bounds the disabled
+  // cost from above.
+  support::StatsRegistry Stats;
   for (int Iterations : {2000, 8000, 32000, 128000}) {
     DiagnosticEngine Diags;
     auto Prog = lang::parseAndCheck(subject(Iterations), Diags);
@@ -73,6 +79,15 @@ int main() {
     Timer TraceTimer;
     ExecutionTrace E = Interp.run({});
     double TraceMs = TraceTimer.seconds() * 1000;
+
+    Interpreter InstrumentedInterp(*Prog, SA, &Stats);
+    Timer StatsTimer;
+    ExecutionTrace EStats = InstrumentedInterp.run({});
+    double StatsMs = StatsTimer.seconds() * 1000;
+    if (EStats.size() != E.size()) {
+      std::fprintf(stderr, "instrumented run diverged\n");
+      return 1;
+    }
 
     Timer RegionTimer;
     align::RegionTree Tree(E);
@@ -100,8 +115,9 @@ int main() {
     }
 
     T.addRow({std::to_string(Iterations), std::to_string(E.size()),
-              formatDouble(TraceMs, 2), formatDouble(RegionMs, 2),
-              formatDouble(VerifyMs, 2), formatDouble(SliceMs, 2)});
+              formatDouble(TraceMs, 2), formatDouble(StatsMs, 2),
+              formatDouble(RegionMs, 2), formatDouble(VerifyMs, 2),
+              formatDouble(SliceMs, 2)});
 
     // Linearity check: 4x the work should cost clearly less than ~12x
     // (generous bound; rules out accidental quadratic behaviour).
@@ -113,5 +129,6 @@ int main() {
   std::printf("%s", T.str().c_str());
   std::printf("\nLinear-scaling sanity check: %s\n",
               Linearish ? "HOLDS" : "VIOLATED (superlinear growth!)");
+  bench::dumpStats(Stats, "Interpreter statistics across all scaling runs");
   return Linearish ? 0 : 1;
 }

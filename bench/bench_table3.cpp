@@ -65,6 +65,7 @@ int main() {
   bool AllLocated = true;
   size_t MaxVerifications = 0;
   std::string HardestFault;
+  support::StatsRegistry Stats;
   for (const FaultInfo &F : faults()) {
     FaultRunner Runner(F);
     if (!Runner.valid()) {
@@ -73,6 +74,7 @@ int main() {
     }
     FaultRunner::Options Opts;
     Opts.ComputeSlices = false;
+    Opts.Stats = &Stats;
     ExperimentResult R = Runner.run(Opts);
     const PaperRow *P = paperRow(F.Id);
 
@@ -98,5 +100,7 @@ int main() {
   std::printf("\nAll root causes located: %s\n", AllLocated ? "YES" : "NO");
   std::printf("Hardest case by verifications: %s (paper: grep-v4-f2)\n",
               HardestFault.c_str());
+  bench::dumpStats(Stats,
+                   "Per-phase pipeline cost across all Table 3 faults");
   return AllLocated ? 0 : 1;
 }

@@ -14,11 +14,57 @@ using namespace eoe::align;
 using namespace eoe::interp;
 
 ExecutionAligner::ExecutionAligner(const ExecutionTrace &Original,
-                                   const ExecutionTrace &Switched)
+                                   const ExecutionTrace &Switched,
+                                   support::StatsRegistry *Stats)
     : E(Original), EP(Switched), TreeE(Original), TreeEP(Switched),
-      Switch(Switched.SwitchedStep) {}
+      Switch(Switched.SwitchedStep) {
+  if (Stats) {
+    Stats->counter("align.aligners").add();
+    CQueries = &Stats->counter("align.queries");
+    CMatched = &Stats->counter("align.matched");
+    CPrefixHits = &Stats->counter("align.prefix_hits");
+    CRegionsWalked = &Stats->counter("align.regions_walked");
+    CFailEndedEarly = &Stats->counter("align.no_match.region_ended_early");
+    CFailBranchDiverged = &Stats->counter("align.no_match.branch_diverged");
+    CFailStaticMismatch = &Stats->counter("align.no_match.static_mismatch");
+    CFailSwitchNotApplied =
+        &Stats->counter("align.no_match.switch_not_applied");
+  }
+}
 
 AlignResult ExecutionAligner::match(TraceIdx U) const {
+  AlignResult R = matchImpl(U);
+  if (CQueries) {
+    CQueries->add();
+    if (R.found()) {
+      CMatched->add();
+      // The shared-prefix early-out: everything at or before the switch
+      // point matches itself without walking any region.
+      if (Switch != InvalidId && U <= Switch)
+        CPrefixHits->add();
+    } else {
+      switch (R.Why) {
+      case AlignFailure::RegionEndedEarly:
+        CFailEndedEarly->add();
+        break;
+      case AlignFailure::BranchDiverged:
+        CFailBranchDiverged->add();
+        break;
+      case AlignFailure::StaticMismatch:
+        CFailStaticMismatch->add();
+        break;
+      case AlignFailure::SwitchNotApplied:
+        CFailSwitchNotApplied->add();
+        break;
+      case AlignFailure::None:
+        break;
+      }
+    }
+  }
+  return R;
+}
+
+AlignResult ExecutionAligner::matchImpl(TraceIdx U) const {
   assert(U < E.size() && "query point outside the original trace");
 
   if (Switch == InvalidId) {
@@ -45,10 +91,22 @@ AlignResult ExecutionAligner::match(TraceIdx U) const {
 
 AlignResult ExecutionAligner::matchInsideRegion(TraceIdx R, TraceIdx U,
                                                 TraceIdx RPrime) const {
+  // Tallied locally and flushed once per query, so the sibling walk does
+  // no atomic work per region.
+  struct WalkTally {
+    support::StatCounter *C;
+    uint64_t N = 0;
+    ~WalkTally() {
+      if (C && N)
+        C->add(N);
+    }
+  } Walked{CRegionsWalked};
+
   // Iterative descent: region nesting depth grows with loop iteration
   // counts (each iteration nests inside the previous one), so recursion
   // would overflow the stack on long-running loops.
   while (true) {
+    ++Walked.N;
     assert(TreeE.inRegion(U, R) && "region does not contain the query point");
     if (R != InvalidId && U == R)
       return {RPrime, AlignFailure::None};

@@ -28,6 +28,7 @@
 
 #include "align/RegionTree.h"
 #include "interp/Trace.h"
+#include "support/Stats.h"
 
 namespace eoe {
 namespace align {
@@ -65,8 +66,12 @@ public:
   /// Both traces must outlive the aligner. \p Switched should carry a
   /// SwitchedStep (the flipped predicate instance); aligning two
   /// identical executions (no switch) degenerates to the identity.
+  /// When \p Stats is given, queries record their outcome mix and the
+  /// number of region-tree siblings walked (align.queries, align.matched,
+  /// align.no_match.*, align.regions_walked, align.prefix_hits).
   ExecutionAligner(const interp::ExecutionTrace &Original,
-                   const interp::ExecutionTrace &Switched);
+                   const interp::ExecutionTrace &Switched,
+                   support::StatsRegistry *Stats = nullptr);
 
   /// Finds the point in the switched run corresponding to instance \p U
   /// of the original run. \p U may be any instance (before or after the
@@ -81,6 +86,7 @@ public:
   TraceIdx switchPoint() const { return Switch; }
 
 private:
+  AlignResult matchImpl(TraceIdx U) const;
   AlignResult matchInsideRegion(TraceIdx R, TraceIdx U, TraceIdx RPrime) const;
 
   const interp::ExecutionTrace &E;
@@ -88,6 +94,16 @@ private:
   RegionTree TreeE;
   RegionTree TreeEP;
   TraceIdx Switch;
+
+  /// Metric handles; all null on unobserved aligners.
+  support::StatCounter *CQueries = nullptr;
+  support::StatCounter *CMatched = nullptr;
+  support::StatCounter *CPrefixHits = nullptr;
+  support::StatCounter *CRegionsWalked = nullptr;
+  support::StatCounter *CFailEndedEarly = nullptr;
+  support::StatCounter *CFailBranchDiverged = nullptr;
+  support::StatCounter *CFailStaticMismatch = nullptr;
+  support::StatCounter *CFailSwitchNotApplied = nullptr;
 };
 
 } // namespace align

@@ -21,17 +21,30 @@ DebugSession::DebugSession(const lang::Program &Prog,
                            Config CIn)
     : Prog(Prog), FailingInput(std::move(FailingInputIn)),
       ExpectedOutputs(std::move(ExpectedOutputsIn)), C(CIn), SA(Prog),
-      Interp(Prog, SA), Prof(Prog.statements().size()) {
-  Prof = profileTestSuite(Interp, Prog, TestSuite, C.MaxSteps);
+      Interp(Prog, SA, CIn.Stats), Prof(Prog.statements().size()) {
+  {
+    support::EventTracer::Span ProfileSpan(C.Tracer, "profile", "interp");
+    Prof = profileTestSuite(Interp, Prog, TestSuite, C.MaxSteps);
+  }
 
   Interpreter::Options Opts;
   Opts.MaxSteps = C.MaxSteps;
-  Trace = Interp.run(FailingInput, Opts);
+  {
+    support::EventTracer::Span InterpretSpan(C.Tracer, "interpret", "interp");
+    Trace = Interp.run(FailingInput, Opts);
+  }
   Verdicts = diffOutputs(Trace, ExpectedOutputs);
+  if (C.Stats)
+    C.Stats->histogram("session.trace_steps").record(Trace.size());
   if (!Verdicts)
     return;
 
-  Graph = std::make_unique<ddg::DepGraph>(Trace);
+  {
+    support::EventTracer::Span GraphSpan(C.Tracer, "graph", "ddg");
+    support::ScopedTimer Timed(
+        C.Stats ? &C.Stats->timer("session.graph_build_time") : nullptr);
+    Graph = std::make_unique<ddg::DepGraph>(Trace);
+  }
   PD = std::make_unique<PotentialDepAnalyzer>(
       SA, Trace, C.PDBackend,
       C.PDBackend == PotentialDepAnalyzer::Backend::UnionGraph
@@ -41,12 +54,15 @@ DebugSession::DebugSession(const lang::Program &Prog,
   VC.MaxSteps = C.Locate.MaxSteps;
   VC.UsePathCheck = C.Locate.UsePathCheck;
   VC.Threads = C.Threads;
+  VC.Stats = C.Stats;
+  VC.Tracer = C.Tracer;
   Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,
                                                    FailingInput, *Verdicts, VC);
 }
 
 SliceResult DebugSession::dynamicSlice() const {
   assert(hasFailure() && "no failure to slice");
+  support::EventTracer::Span SliceSpan(C.Tracer, "dynamic_slice", "slicing");
   // DS deliberately ignores implicit edges even if locate() added some.
   ddg::DepGraph::ClosureOptions Opts;
   Opts.Implicit = false;
@@ -54,12 +70,27 @@ SliceResult DebugSession::dynamicSlice() const {
   R.Member = Graph->backwardClosure(
       {Trace.Outputs.at(Verdicts->WrongOutput).Step}, Opts);
   R.Stats = Graph->stats(R.Member);
+  if (C.Stats) {
+    C.Stats->counter("slicing.dynamic_slices").add();
+    C.Stats->histogram("slicing.ds_static_stmts").record(R.Stats.StaticStmts);
+    C.Stats->histogram("slicing.ds_dynamic_instances")
+        .record(R.Stats.DynamicInstances);
+  }
   return R;
 }
 
 RelevantSliceResult DebugSession::relevantSlice() const {
   assert(hasFailure() && "no failure to slice");
-  return relevantSliceOfWrongOutput(*Graph, *PD, *Verdicts);
+  support::EventTracer::Span SliceSpan(C.Tracer, "relevant_slice", "slicing");
+  RelevantSliceResult R = relevantSliceOfWrongOutput(*Graph, *PD, *Verdicts);
+  if (C.Stats) {
+    C.Stats->counter("slicing.relevant_slices").add();
+    C.Stats->histogram("slicing.rs_static_stmts")
+        .record(R.Slice.Stats.StaticStmts);
+    C.Stats->histogram("slicing.rs_dynamic_instances")
+        .record(R.Slice.Stats.DynamicInstances);
+  }
+  return R;
 }
 
 std::vector<TraceIdx> DebugSession::prunedSlice() const {

@@ -55,6 +55,11 @@ public:
     /// engine joins deterministically; see docs/parallelism.md) -- the
     /// knob only trades wall-clock time.
     unsigned Threads = 0;
+    /// Observability sinks wired through every pipeline layer (the
+    /// interpreter, the context pool, the aligner, the verifier, pruning,
+    /// and locate). Null = off; see docs/observability.md.
+    support::StatsRegistry *Stats = nullptr;
+    support::EventTracer *Tracer = nullptr;
     /// Algorithm 2 tunables.
     LocateConfig Locate;
   };

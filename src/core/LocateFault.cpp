@@ -48,9 +48,21 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
   VerifyScheduler Scheduler(Verifier);
   const bool Batched = Config.Threads != 1;
 
+  // One registry serves the whole locate pipeline: the verifier's
+  // configured registry (or its private fallback), so Table 3 counters
+  // and the per-round breakdown land next to each other.
+  support::StatsRegistry &Reg = Verifier.stats();
+  support::EventTracer *Tracer = Verifier.tracer();
+  support::EventTracer::Span LocateSpan(Tracer, "locate", "core");
+  support::ScopedTimer LocateTimed(&Reg.timer("locate.total_time"));
+
   ConfidenceAnalysis CA(Prog, G, Values, V);
   PruneState Prune;
-  std::vector<TraceIdx> Ranked = pruneSlicing(CA, O, Prune);
+  std::vector<TraceIdx> Ranked;
+  {
+    support::EventTracer::Span PruneSpan(Tracer, "prune", "slicing");
+    Ranked = pruneSlicing(CA, O, Prune, &Reg);
+  }
 
   // Verified-but-uncommitted expansions, keyed by (instance, load).
   struct VerifiedUse {
@@ -64,6 +76,8 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
 
   while (!containsRootCause(Ranked, T, O) &&
          Report.Iterations < Config.MaxIterations) {
+    support::EventTracer::Span RoundSpan(Tracer, "locate.round", "core");
+    support::ScopedTimer RoundTimed(&Reg.timer("locate.round_time"));
     // Sweep the pruned slice's uses in rank order, verifying each use's
     // candidate predicates. Strong implicit dependences override plain
     // ones (Algorithm 2 lines 10-11); the sweep commits the first use
@@ -84,6 +98,8 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
           VU.Load = Use.LoadExpr;
           std::vector<TraceIdx> Candidates =
               PD.compute(I, Use, Config.OnePerPredicate);
+          Reg.counter("locate.candidate_requests").add(Candidates.size());
+          Reg.histogram("locate.candidates_per_use").record(Candidates.size());
           std::vector<DepVerdict> Verdicts;
           if (Batched) {
             // The whole candidate set PD(u) as one batch: its switched
@@ -129,6 +145,7 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
       break; // No verifiable dependence left: the procedure failed.
 
     ++Report.Iterations;
+    Reg.counter("locate.rounds").add();
     Committed.insert({ToCommit->Use, ToCommit->Load});
     bool UseStrong = !ToCommit->Strong.empty();
     const std::vector<TraceIdx> &Winners =
@@ -161,6 +178,7 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
         }
       }
       FanoutBegin.push_back(FanoutRequests.size());
+      Reg.counter("locate.fanout_requests").add(FanoutRequests.size());
     }
     std::vector<DepVerdict> FanoutVerdicts;
     if (Batched) {
@@ -194,10 +212,16 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
     }
 
     // Re-prune with the expanded graph (Algorithm 2 line 19).
-    Ranked = pruneSlicing(CA, O, Prune);
+    {
+      support::EventTracer::Span PruneSpan(Tracer, "prune", "slicing");
+      Ranked = pruneSlicing(CA, O, Prune, &Reg);
+    }
   }
 
   Report.RootCauseFound = containsRootCause(Ranked, T, O);
+  Reg.counter("locate.expanded_edges").add(Report.ExpandedEdges);
+  Reg.counter("locate.strong_edges").add(Report.StrongEdges);
+  Reg.histogram("locate.final_slice_size").record(Ranked.size());
   Report.UserPrunings = Prune.UserPrunings;
   Report.Verifications = Verifier.verificationCount();
   Report.Reexecutions = Verifier.reexecutionCount();

@@ -33,7 +33,23 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
                                          std::vector<int64_t> Input,
                                          const slicing::OutputVerdicts &V,
                                          Config C)
-    : Interp(Interp), E(E), Input(std::move(Input)), V(V), C(C) {}
+    : Interp(Interp), E(E), Input(std::move(Input)), V(V), C(C) {
+  Reg = this->C.Stats ? this->C.Stats : &OwnStats;
+  CVerifications = &Reg->counter("verify.verifications");
+  CReexecutions = &Reg->counter("verify.reexecutions");
+  CVerdictCacheHits = &Reg->counter("verify.verdict_cache_hits");
+  CVerdictCacheMisses = &Reg->counter("verify.verdict_cache_misses");
+  CVerdictStrong = &Reg->counter("verify.verdict.strong");
+  CVerdictImplicit = &Reg->counter("verify.verdict.implicit");
+  CVerdictNot = &Reg->counter("verify.verdict.not_implicit");
+  CReexecAborts = &Reg->counter("verify.reexec_aborts");
+  TReexec = &Reg->timer("verify.reexec_time");
+  TLatStrong = &Reg->timer("verify.latency.strong");
+  TLatImplicit = &Reg->timer("verify.latency.implicit");
+  TLatNot = &Reg->timer("verify.latency.not_implicit");
+  HReexecSteps = &Reg->histogram("verify.reexec_steps");
+  Arena.bindStats(this->C.Stats);
+}
 
 ImplicitDepVerifier::~ImplicitDepVerifier() = default;
 
@@ -71,11 +87,20 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
   Opts.MaxSteps = C.MaxSteps;
   Opts.Switch = Spec;
   {
+    support::EventTracer::Span Reexec(C.Tracer, "reexec", "interp");
+    support::ScopedTimer Timed(TReexec);
     ExecContextPool::Lease Ctx = Arena.acquire();
     Run.Trace = Interp.run(Input, Opts, *Ctx);
   }
-  Reexecutions.fetch_add(1, std::memory_order_relaxed);
-  Run.Aligner = std::make_unique<align::ExecutionAligner>(E, Run.Trace);
+  CReexecutions->add();
+  HReexecSteps->record(Run.Trace.size());
+  if (Run.Trace.Exit != ExitReason::Finished)
+    CReexecAborts->add();
+  {
+    support::EventTracer::Span Align(C.Tracer, "align", "align");
+    Run.Aligner =
+        std::make_unique<align::ExecutionAligner>(E, Run.Trace, C.Stats);
+  }
   Run.Ready.store(true, std::memory_order_release);
 }
 
@@ -102,6 +127,8 @@ void ImplicitDepVerifier::prepareSwitchedRuns(
       Todo.push_back(P);
   if (Todo.empty())
     return;
+  Reg->counter("verify.prepare_batches").add();
+  Reg->counter("verify.prepared_runs").add(Todo.size());
 
   support::ThreadPool *TP = pool();
   if (!TP || Todo.size() == 1) {
@@ -163,9 +190,14 @@ DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
   {
     std::lock_guard<std::mutex> Lock(VerdictMutex);
     auto Cached = VerdictCache.find(Key);
-    if (Cached != VerdictCache.end())
+    if (Cached != VerdictCache.end()) {
+      CVerdictCacheHits->add();
       return Cached->second;
+    }
   }
+  CVerdictCacheMisses->add();
+  support::EventTracer::Span VerifySpan(C.Tracer, "verify", "verify");
+  auto LatencyStart = std::chrono::steady_clock::now();
 
   // Compute outside the verdict lock: the switched-run cache has its own
   // synchronization and the verdict logic only reads immutable state, so
@@ -245,13 +277,35 @@ DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
       Verdict = DepVerdict::Implicit;
   } while (false);
 
+  // Per-verdict latency of the uncached computation (Table 4's switched
+  // re-execution plus alignment cost, attributed to the outcome).
+  uint64_t LatencyNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - LatencyStart)
+          .count());
+
   {
     std::lock_guard<std::mutex> Lock(VerdictMutex);
     auto [It, Inserted] = VerdictCache.emplace(Key, Verdict);
     // Count distinct verifications only, exactly like the serial engine:
     // a racing duplicate keeps the first verdict and is not re-counted.
-    if (Inserted)
-      Verifications.fetch_add(1, std::memory_order_relaxed);
+    if (Inserted) {
+      CVerifications->add();
+      switch (It->second) {
+      case DepVerdict::StrongImplicit:
+        CVerdictStrong->add();
+        TLatStrong->record(LatencyNs);
+        break;
+      case DepVerdict::Implicit:
+        CVerdictImplicit->add();
+        TLatImplicit->record(LatencyNs);
+        break;
+      case DepVerdict::NotImplicit:
+        CVerdictNot->add();
+        TLatNot->record(LatencyNs);
+        break;
+      }
+    }
     return It->second;
   }
 }

@@ -45,9 +45,10 @@
 #include "interp/ExecContext.h"
 #include "interp/Interpreter.h"
 #include "slicing/OutputVerdicts.h"
+#include "support/EventTracer.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,6 +84,12 @@ public:
     /// which is the serial reference path. The pool is created lazily,
     /// so plain verify()-only users never spawn threads.
     unsigned Threads = 0;
+    /// External observability sinks. When Stats is null the verifier
+    /// records into a private registry, so the distinct-key counters (and
+    /// their accessors) work identically either way; when Tracer is null
+    /// no spans are emitted.
+    support::StatsRegistry *Stats = nullptr;
+    support::EventTracer *Tracer = nullptr;
   };
 
   /// \p E must be the unswitched trace of running \p Input.
@@ -114,16 +121,23 @@ public:
   /// The configured thread count with the 0 = hardware default resolved.
   unsigned effectiveThreads() const;
 
-  /// Number of distinct (p, u) verifications performed (Table 3).
-  size_t verificationCount() const {
-    return Verifications.load(std::memory_order_relaxed);
-  }
+  /// Number of distinct (p, u) verifications performed (Table 3). A thin
+  /// view over the registry's verify.verifications counter: one atomic
+  /// metric serves the accessor, --stats, and the bench dumps, so there
+  /// is a single source of truth and snapshotting involves no locks.
+  size_t verificationCount() const { return CVerifications->get(); }
 
   /// Number of switched re-executions actually run (Table 4's Verif cost
-  /// driver; smaller than verificationCount thanks to caching).
-  size_t reexecutionCount() const {
-    return Reexecutions.load(std::memory_order_relaxed);
-  }
+  /// driver; smaller than verificationCount thanks to caching). Thin view
+  /// over verify.reexecutions.
+  size_t reexecutionCount() const { return CReexecutions->get(); }
+
+  /// The registry verification metrics land in: the externally configured
+  /// one, else the verifier's private fallback. Never null.
+  support::StatsRegistry &stats() { return *Reg; }
+
+  /// The configured tracer; null when tracing is off.
+  support::EventTracer *tracer() const { return C.Tracer; }
 
   /// The switched run used to verify against \p PredInst (for reports).
   const interp::ExecutionTrace *switchedRun(TraceIdx PredInst) const;
@@ -160,8 +174,26 @@ private:
   std::map<TraceIdx, std::unique_ptr<SwitchedRun>> Runs;
   std::mutex VerdictMutex;
   std::map<std::tuple<TraceIdx, TraceIdx, ExprId>, DepVerdict> VerdictCache;
-  std::atomic<size_t> Verifications{0};
-  std::atomic<size_t> Reexecutions{0};
+
+  /// Fallback registry when none is configured; Reg points at it or at
+  /// C.Stats. The paper's Table 3/4 counters used to be two ad-hoc
+  /// atomics here -- they now live in the registry so one mechanism
+  /// covers accessors, JSON dumps, and snapshots.
+  support::StatsRegistry OwnStats;
+  support::StatsRegistry *Reg = nullptr;
+  support::StatCounter *CVerifications = nullptr;
+  support::StatCounter *CReexecutions = nullptr;
+  support::StatCounter *CVerdictCacheHits = nullptr;
+  support::StatCounter *CVerdictCacheMisses = nullptr;
+  support::StatCounter *CVerdictStrong = nullptr;
+  support::StatCounter *CVerdictImplicit = nullptr;
+  support::StatCounter *CVerdictNot = nullptr;
+  support::StatCounter *CReexecAborts = nullptr;
+  support::StatTimer *TReexec = nullptr;
+  support::StatTimer *TLatStrong = nullptr;
+  support::StatTimer *TLatImplicit = nullptr;
+  support::StatTimer *TLatNot = nullptr;
+  support::StatHistogram *HReexecSteps = nullptr;
 
   /// Recycled per-run interpreter state for switched re-executions.
   interp::ExecContextPool Arena;

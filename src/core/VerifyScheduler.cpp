@@ -12,6 +12,15 @@ using namespace eoe::core;
 
 std::vector<DepVerdict>
 VerifyScheduler::verifyBatch(const std::vector<VerifyRequest> &Batch) {
+  support::StatsRegistry &Reg = Verifier.stats();
+  if (!Batch.empty()) {
+    Reg.counter("verify.batches").add();
+    Reg.counter("verify.batch_requests").add(Batch.size());
+    Reg.histogram("verify.batch_size").record(Batch.size());
+  }
+  support::EventTracer::Span BatchSpan(
+      Batch.empty() ? nullptr : Verifier.tracer(), "verify.batch", "verify");
+
   // Phase 1: warm the switched-run cache concurrently. Only predicates
   // without a cached run re-execute -- the same set the serial engine
   // would have re-executed while walking this batch one by one (a cached

@@ -7,6 +7,8 @@
 
 #include "interp/ExecContext.h"
 
+#include "support/Stats.h"
+
 using namespace eoe;
 using namespace eoe::interp;
 
@@ -42,15 +44,28 @@ void ExecContext::noteTraceSize(size_t Steps) {
 }
 
 ExecContextPool::Lease ExecContextPool::acquire() {
+  if (CAcquires)
+    CAcquires->add();
   {
     std::lock_guard<std::mutex> Lock(M);
     if (!Free.empty()) {
       std::unique_ptr<ExecContext> Ctx = std::move(Free.back());
       Free.pop_back();
+      if (CReuses)
+        CReuses->add();
       return Lease(*this, std::move(Ctx));
     }
   }
   return Lease(*this, std::make_unique<ExecContext>());
+}
+
+void ExecContextPool::bindStats(support::StatsRegistry *Reg) {
+  if (!Reg) {
+    CAcquires = CReuses = nullptr;
+    return;
+  }
+  CAcquires = &Reg->counter("interp.ctx_acquires");
+  CReuses = &Reg->counter("interp.ctx_reuses");
 }
 
 size_t ExecContextPool::idleCount() const {

@@ -39,6 +39,11 @@ namespace lang {
 class Function;
 }
 
+namespace support {
+class StatCounter;
+class StatsRegistry;
+}
+
 namespace interp {
 
 /// One activation record. Lives here (not in the interpreter's .cpp) so
@@ -122,11 +127,18 @@ public:
   /// Number of idle contexts currently pooled (for tests).
   size_t idleCount() const;
 
+  /// Starts recording acquisitions and freelist reuses into \p Reg
+  /// (interp.ctx_acquires / interp.ctx_reuses). Call before handing the
+  /// pool to concurrent users.
+  void bindStats(support::StatsRegistry *Reg);
+
 private:
   void release(std::unique_ptr<ExecContext> Ctx);
 
   mutable std::mutex M;
   std::vector<std::unique_ptr<ExecContext>> Free;
+  support::StatCounter *CAcquires = nullptr;
+  support::StatCounter *CReuses = nullptr;
 };
 
 } // namespace interp

@@ -533,9 +533,18 @@ private:
 } // namespace
 
 Interpreter::Interpreter(const Program &Prog,
-                         const analysis::StaticAnalysis &Analysis)
+                         const analysis::StaticAnalysis &Analysis,
+                         support::StatsRegistry *Stats)
     : Prog(Prog), Analysis(Analysis) {
   assert(isValidId(Prog.mainFunction()) && "program must be Sema-checked");
+  if (Stats) {
+    CRuns = &Stats->counter("interp.runs");
+    CSwitchedRuns = &Stats->counter("interp.switched_runs");
+    CSteps = &Stats->counter("interp.steps");
+    COutputs = &Stats->counter("interp.outputs");
+    CAborts = &Stats->counter("interp.aborted_runs");
+    TRunTime = &Stats->timer("interp.run_time");
+  }
 }
 
 ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
@@ -546,8 +555,19 @@ ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
 
 ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
                                 const Options &Opts, ExecContext &Ctx) const {
+  support::ScopedTimer Timed(TRunTime);
   Engine E(Prog, Analysis, Input, Opts, Ctx);
-  return E.run();
+  ExecutionTrace T = E.run();
+  if (CRuns) {
+    CRuns->add();
+    if (Opts.Switch)
+      CSwitchedRuns->add();
+    CSteps->add(T.size()); // Traced instances; plain runs record nothing.
+    COutputs->add(T.Outputs.size());
+    if (T.Exit != ExitReason::Finished)
+      CAborts->add();
+  }
+  return T;
 }
 
 ExecutionTrace Interpreter::runSwitched(const std::vector<int64_t> &Input,

@@ -25,6 +25,7 @@
 #include "interp/ExecContext.h"
 #include "interp/Trace.h"
 #include "lang/AST.h"
+#include "support/Stats.h"
 
 #include <cstdint>
 #include <optional>
@@ -54,9 +55,14 @@ public:
     bool Trace = true;
   };
 
-  /// \p Analysis must have been built for \p Prog.
+  /// \p Analysis must have been built for \p Prog. When \p Stats is
+  /// given, every run records per-run cost into it (interp.runs,
+  /// interp.steps, interp.run_time, ...); the instrumentation is per run,
+  /// not per step, so the enabled overhead is a handful of atomic adds
+  /// per execution and the disabled overhead is one branch.
   Interpreter(const lang::Program &Prog,
-              const analysis::StaticAnalysis &Analysis);
+              const analysis::StaticAnalysis &Analysis,
+              support::StatsRegistry *Stats = nullptr);
 
   /// Runs the program on \p Input and returns the trace.
   ExecutionTrace run(const std::vector<int64_t> &Input,
@@ -81,6 +87,15 @@ public:
 private:
   const lang::Program &Prog;
   const analysis::StaticAnalysis &Analysis;
+
+  /// Metric handles resolved once at construction; all null when the
+  /// interpreter runs unobserved.
+  support::StatCounter *CRuns = nullptr;
+  support::StatCounter *CSwitchedRuns = nullptr;
+  support::StatCounter *CSteps = nullptr;
+  support::StatCounter *COutputs = nullptr;
+  support::StatCounter *CAborts = nullptr;
+  support::StatTimer *TRunTime = nullptr;
 };
 
 } // namespace interp

@@ -11,10 +11,16 @@ using namespace eoe;
 using namespace eoe::slicing;
 
 std::vector<TraceIdx> eoe::slicing::pruneSlicing(ConfidenceAnalysis &CA,
-                                                 Oracle &O,
-                                                 PruneState &State) {
+                                                 Oracle &O, PruneState &State,
+                                                 support::StatsRegistry *Stats) {
+  using support::StatsRegistry;
   const interp::ExecutionTrace &T = CA.trace();
+  auto Finish = [&](const std::vector<TraceIdx> &Ranked) {
+    StatsRegistry::sample(Stats, "slicing.pruned_slice_size", Ranked.size());
+    return Ranked;
+  };
   while (true) {
+    StatsRegistry::add(Stats, "slicing.prune_rounds");
     CA.recompute(State.BenignMarks, State.KnownCorrupted);
     const std::vector<TraceIdx> &Ranked = CA.prunedSlice();
 
@@ -22,7 +28,7 @@ std::vector<TraceIdx> eoe::slicing::pruneSlicing(ConfidenceAnalysis &CA,
     // cause among the presented candidates.
     for (TraceIdx I : Ranked)
       if (O.isRootCause(T.step(I).Stmt))
-        return Ranked;
+        return Finish(Ranked);
 
     TraceIdx Next = InvalidId;
     for (TraceIdx I : Ranked) {
@@ -31,10 +37,12 @@ std::vector<TraceIdx> eoe::slicing::pruneSlicing(ConfidenceAnalysis &CA,
       Next = I;
       break;
     }
-    if (Next == InvalidId)
-      return Ranked; // Everything left is known corrupted: minimal slice.
+    if (Next == InvalidId) // Everything left is known corrupted: minimal
+      return Finish(Ranked); // slice.
 
+    StatsRegistry::add(Stats, "slicing.oracle_queries");
     if (O.isBenign(Next)) {
+      StatsRegistry::add(Stats, "slicing.benign_marks");
       State.BenignMarks.push_back(Next);
       // One user interaction covers a statement; later instances of the
       // same statement are vouched for by the same act of understanding.
@@ -42,6 +50,7 @@ std::vector<TraceIdx> eoe::slicing::pruneSlicing(ConfidenceAnalysis &CA,
         ++State.UserPrunings;
       continue; // Benign feedback enables more automatic pruning.
     }
+    StatsRegistry::add(Stats, "slicing.corrupted_marks");
     State.KnownCorrupted.insert(Next);
   }
 }

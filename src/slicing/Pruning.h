@@ -22,6 +22,7 @@
 #define EOE_SLICING_PRUNING_H
 
 #include "slicing/Confidence.h"
+#include "support/Stats.h"
 
 #include <set>
 #include <vector>
@@ -58,9 +59,13 @@ struct PruneState {
 /// Runs one interactive pruning session: recomputes confidences, asks the
 /// oracle about unresolved candidates in rank order, and stops when every
 /// remaining candidate is known corrupted. Returns the minimal pruned
-/// slice, most suspicious first.
+/// slice, most suspicious first. When \p Stats is given, records the
+/// session's cost (slicing.prune_rounds, slicing.oracle_queries,
+/// slicing.benign_marks, slicing.corrupted_marks) and the returned slice
+/// size (slicing.pruned_slice_size histogram).
 std::vector<TraceIdx> pruneSlicing(ConfidenceAnalysis &CA, Oracle &O,
-                                   PruneState &State);
+                                   PruneState &State,
+                                   support::StatsRegistry *Stats = nullptr);
 
 } // namespace slicing
 } // namespace eoe

@@ -1,0 +1,81 @@
+//===-- support/EventTracer.cpp - Chrome trace_event spans --------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventTracer.h"
+
+#include "support/StringUtils.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace eoe;
+using namespace eoe::support;
+
+uint32_t EventTracer::tidForCurrentThread() {
+  auto [It, Inserted] =
+      Tids.emplace(std::this_thread::get_id(),
+                   static_cast<uint32_t>(Tids.size() + 1));
+  return It->second;
+}
+
+void EventTracer::instant(std::string_view Name, std::string_view Category) {
+  uint64_t Ts = nowNs();
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back({std::string(Name), std::string(Category), 'i', Ts, 0,
+                    tidForCurrentThread()});
+}
+
+void EventTracer::completeSpan(std::string Name, std::string Category,
+                               uint64_t StartNs) {
+  uint64_t End = nowNs();
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back({std::move(Name), std::move(Category), 'X', StartNs,
+                    End - StartNs, tidForCurrentThread()});
+}
+
+size_t EventTracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+std::vector<EventTracer::Event> EventTracer::events() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events;
+}
+
+std::string EventTracer::json() const {
+  std::vector<Event> Copy = events();
+  std::ostringstream Out;
+  Out << "{\"traceEvents\":[";
+  for (size_t I = 0; I < Copy.size(); ++I) {
+    const Event &E = Copy[I];
+    if (I)
+      Out << ',';
+    // Chrome expects microsecond timestamps; keep sub-microsecond
+    // precision as a fraction.
+    Out << "{\"name\":\"" << jsonEscape(E.Name) << "\",\"cat\":\""
+        << jsonEscape(E.Category) << "\",\"ph\":\"" << E.Phase
+        << "\",\"ts\":" << formatDouble(static_cast<double>(E.StartNs) / 1000.0, 3)
+        << ",\"pid\":1,\"tid\":" << E.Tid;
+    if (E.Phase == 'X')
+      Out << ",\"dur\":"
+          << formatDouble(static_cast<double>(E.DurationNs) / 1000.0, 3);
+    if (E.Phase == 'i')
+      Out << ",\"s\":\"t\"";
+    Out << '}';
+  }
+  Out << "],\"displayTimeUnit\":\"ms\"}";
+  return Out.str();
+}
+
+bool EventTracer::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << json() << '\n';
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,204 @@
+//===-- support/Stats.cpp - Hierarchical statistics registry ------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <sstream>
+
+using namespace eoe;
+using namespace eoe::support;
+
+void StatHistogram::record(uint64_t Sample) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  Buckets[bucketFor(Sample)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t Seen = Max.load(std::memory_order_relaxed);
+  while (Sample > Seen &&
+         !Max.compare_exchange_weak(Seen, Sample, std::memory_order_relaxed))
+    ;
+}
+
+void StatHistogram::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+size_t StatHistogram::bucketFor(uint64_t Sample) {
+  size_t Bits = 0;
+  while (Sample) {
+    Sample >>= 1;
+    ++Bits;
+  }
+  return Bits < NumBuckets ? Bits : NumBuckets - 1;
+}
+
+StatCounter &StatsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<StatCounter>())
+             .first;
+  return *It->second;
+}
+
+StatTimer &StatsRegistry::timer(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Timers.find(Name);
+  if (It == Timers.end())
+    It = Timers.emplace(std::string(Name), std::make_unique<StatTimer>())
+             .first;
+  return *It->second;
+}
+
+StatHistogram &StatsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name), std::make_unique<StatHistogram>())
+             .first;
+  return *It->second;
+}
+
+void StatsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, T] : Timers)
+    T->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  StatsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->get();
+  for (const auto &[Name, T] : Timers)
+    S.Timers[Name] = {T->count(), T->seconds()};
+  for (const auto &[Name, H] : Histograms) {
+    StatsSnapshot::HistogramValue V;
+    V.Count = H->count();
+    V.Sum = H->sum();
+    V.Max = H->max();
+    size_t Last = 0;
+    for (size_t I = 0; I < StatHistogram::NumBuckets; ++I)
+      if (H->bucket(I))
+        Last = I + 1;
+    for (size_t I = 0; I < Last; ++I)
+      V.Buckets.push_back(H->bucket(I));
+    S.Histograms[Name] = V;
+  }
+  return S;
+}
+
+namespace {
+
+/// Splits "align.queries" into its leading component and remainder;
+/// names without a dot group under "" (emitted flat).
+std::pair<std::string, std::string> splitHead(const std::string &Name) {
+  size_t Dot = Name.find('.');
+  if (Dot == std::string::npos)
+    return {"", Name};
+  return {Name.substr(0, Dot), Name.substr(Dot + 1)};
+}
+
+/// Renders one metric section as a JSON object grouped by the leading
+/// name component. \p Emit renders one metric's value.
+template <typename Map, typename Fn>
+void emitSection(std::ostringstream &Out, const char *Section, const Map &Metrics,
+                 Fn Emit) {
+  Out << '"' << Section << "\":{";
+  // Group preserving the map's name order; ungrouped names come first in
+  // their natural sort position because "" sorts before any component.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      Groups;
+  for (const auto &[Name, Value] : Metrics) {
+    auto [Head, Rest] = splitHead(Name);
+    std::ostringstream One;
+    Emit(One, Value);
+    Groups[Head].push_back({Rest, One.str()});
+  }
+  bool FirstGroup = true;
+  for (const auto &[Head, Members] : Groups) {
+    auto EmitMembers = [&](bool &First) {
+      for (const auto &[Leaf, Rendered] : Members) {
+        if (!First)
+          Out << ',';
+        First = false;
+        Out << '"' << jsonEscape(Leaf) << "\":" << Rendered;
+      }
+    };
+    if (Head.empty()) {
+      EmitMembers(FirstGroup);
+      continue;
+    }
+    if (!FirstGroup)
+      Out << ',';
+    FirstGroup = false;
+    Out << '"' << jsonEscape(Head) << "\":{";
+    bool FirstMember = true;
+    EmitMembers(FirstMember);
+    Out << '}';
+  }
+  Out << '}';
+}
+
+} // namespace
+
+std::string StatsRegistry::toJson() const {
+  StatsSnapshot S = snapshot();
+  std::ostringstream Out;
+  Out << "{\"schema\":\"eoe-stats-v1\",";
+  emitSection(Out, "counters", S.Counters,
+              [](std::ostringstream &O, uint64_t V) { O << V; });
+  Out << ',';
+  emitSection(Out, "timers", S.Timers,
+              [](std::ostringstream &O,
+                 const StatsSnapshot::TimerValue &V) {
+                O << "{\"count\":" << V.Count
+                  << ",\"seconds\":" << formatDouble(V.Seconds, 6) << '}';
+              });
+  Out << ',';
+  emitSection(Out, "histograms", S.Histograms,
+              [](std::ostringstream &O,
+                 const StatsSnapshot::HistogramValue &V) {
+                O << "{\"count\":" << V.Count << ",\"sum\":" << V.Sum
+                  << ",\"max\":" << V.Max << ",\"buckets\":[";
+                for (size_t I = 0; I < V.Buckets.size(); ++I)
+                  O << (I ? "," : "") << V.Buckets[I];
+                O << "]}";
+              });
+  Out << '}';
+  return Out.str();
+}
+
+std::string StatsRegistry::str() const {
+  StatsSnapshot S = snapshot();
+  Table T({"metric", "value", "count", "mean"});
+  for (const auto &[Name, V] : S.Counters)
+    T.addRow({Name, std::to_string(V)});
+  for (const auto &[Name, V] : S.Timers) {
+    double MeanMs = V.Count ? V.Seconds * 1000 / V.Count : 0;
+    T.addRow({Name, formatDouble(V.Seconds * 1000, 2) + " ms",
+              std::to_string(V.Count), formatDouble(MeanMs, 3) + " ms"});
+  }
+  for (const auto &[Name, V] : S.Histograms) {
+    double Mean = V.Count ? static_cast<double>(V.Sum) / V.Count : 0;
+    T.addRow({Name, "sum " + std::to_string(V.Sum) + ", max " +
+                        std::to_string(V.Max),
+              std::to_string(V.Count), formatDouble(Mean, 2)});
+  }
+  return T.str();
+}

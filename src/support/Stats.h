@@ -1,0 +1,209 @@
+//===-- support/Stats.h - Hierarchical statistics registry -------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline's observability substrate: a thread-safe registry of
+/// named counters, timers, and histograms. The paper's whole argument is
+/// a cost story (how many re-executions, alignments, and verified edges
+/// each fault needs -- Tables 3 and 4); the registry makes those numbers
+/// first-class across every layer instead of ad-hoc members scattered
+/// through the verifier.
+///
+/// Design constraints, in order:
+///  - Hot-path increments are single relaxed atomic adds. Registration
+///    (name -> metric lookup) takes a mutex, so components resolve their
+///    metric handles once and cache the pointers.
+///  - Disabled means absent: components hold a nullable StatsRegistry*;
+///    every helper here is null-tolerant, so the disabled cost is one
+///    branch on a pointer -- not measurable next to an interpreter step.
+///  - Names are hierarchical dotted paths ("verify.verdict.strong");
+///    snapshots and the JSON renderer group by the leading component, so
+///    per-phase cost reads off directly.
+///  - snapshot() is race-free by construction: metric storage is atomic
+///    and the name table is mutex-guarded, so concurrent increments and
+///    snapshots never constitute a data race (the TSan suite exercises
+///    exactly this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_SUPPORT_STATS_H
+#define EOE_SUPPORT_STATS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eoe {
+namespace support {
+
+/// A monotonically increasing event count. Safe to increment from any
+/// thread; reads are relaxed (a snapshot is a moment's view, not a
+/// linearization point).
+class StatCounter {
+public:
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Accumulated wall time plus the number of measured intervals.
+class StatTimer {
+public:
+  void record(uint64_t DurationNs) {
+    Nanos.fetch_add(DurationNs, std::memory_order_relaxed);
+    Laps.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t totalNanos() const { return Nanos.load(std::memory_order_relaxed); }
+  uint64_t count() const { return Laps.load(std::memory_order_relaxed); }
+  double seconds() const { return static_cast<double>(totalNanos()) * 1e-9; }
+  void reset() {
+    Nanos.store(0, std::memory_order_relaxed);
+    Laps.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Nanos{0};
+  std::atomic<uint64_t> Laps{0};
+};
+
+/// RAII interval measurement into a StatTimer; a null timer makes the
+/// scope free, so call sites need no enabled/disabled branching.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(StatTimer *T)
+      : T(T), Start(T ? Clock::now() : Clock::time_point()) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the interval early; the destructor becomes a no-op.
+  void stop() {
+    if (!T)
+      return;
+    T->record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count()));
+    T = nullptr;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  StatTimer *T;
+  Clock::time_point Start;
+};
+
+/// A power-of-two-bucketed histogram of uint64 samples (bucket i counts
+/// values whose bit width is i, i.e. [2^(i-1), 2^i)), plus exact count,
+/// sum, and max. Good enough for slice sizes and batch widths without
+/// per-sample allocation.
+class StatHistogram {
+public:
+  static constexpr size_t NumBuckets = 64;
+
+  void record(uint64_t Sample);
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    uint64_t N = count();
+    return N ? static_cast<double>(sum()) / static_cast<double>(N) : 0.0;
+  }
+  void reset();
+
+  /// Bucket index a sample lands in (the sample's bit width).
+  static size_t bucketFor(uint64_t Sample);
+
+private:
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+};
+
+/// A registry's state frozen at one moment, for tests and reporting.
+struct StatsSnapshot {
+  struct TimerValue {
+    uint64_t Count = 0;
+    double Seconds = 0;
+  };
+  struct HistogramValue {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Max = 0;
+    /// Trailing zero buckets trimmed.
+    std::vector<uint64_t> Buckets;
+  };
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, TimerValue> Timers;
+  std::map<std::string, HistogramValue> Histograms;
+};
+
+/// Thread-safe registry of named metrics. Metric objects live as long as
+/// the registry and their addresses are stable, so callers resolve once
+/// and increment lock-free afterwards.
+class StatsRegistry {
+public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry &) = delete;
+  StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+  /// Finds or creates the named metric. O(log n) under a mutex -- resolve
+  /// once, not per event.
+  StatCounter &counter(std::string_view Name);
+  StatTimer &timer(std::string_view Name);
+  StatHistogram &histogram(std::string_view Name);
+
+  /// Null-tolerant conveniences so call sites read as one line.
+  static void add(StatsRegistry *Reg, std::string_view Name, uint64_t N = 1) {
+    if (Reg)
+      Reg->counter(Name).add(N);
+  }
+  static void sample(StatsRegistry *Reg, std::string_view Name, uint64_t V) {
+    if (Reg)
+      Reg->histogram(Name).record(V);
+  }
+
+  /// Zeroes every registered metric (names stay registered).
+  void reset();
+
+  /// A coherent copy of all metrics, keyed by full dotted name.
+  StatsSnapshot snapshot() const;
+
+  /// Renders the registry as schema "eoe-stats-v1" JSON: the three metric
+  /// sections, each grouped hierarchically by the name's leading dotted
+  /// component (see docs/observability.md).
+  std::string toJson() const;
+
+  /// Human-readable table of all metrics, for --stats and bench logs.
+  std::string str() const;
+
+private:
+  mutable std::mutex M;
+  // Node-based maps: metric addresses must survive later insertions.
+  std::map<std::string, std::unique_ptr<StatCounter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<StatTimer>, std::less<>> Timers;
+  std::map<std::string, std::unique_ptr<StatHistogram>, std::less<>>
+      Histograms;
+};
+
+} // namespace support
+} // namespace eoe
+
+#endif // EOE_SUPPORT_STATS_H

@@ -34,6 +34,10 @@ std::string joinStrings(const std::vector<std::string> &Parts,
 /// trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
 std::string formatDouble(double Value, int Digits);
 
+/// Escapes \p Text for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; no surrounding quotes added).
+std::string jsonEscape(std::string_view Text);
+
 /// Converts the ASCII string \p Text into its character codes, one int64
 /// per character. Used to feed textual inputs to Siml programs, whose only
 /// value type is int64.

@@ -86,6 +86,11 @@ public:
     /// Verification engine threads (DebugSession::Config::Threads):
     /// 0 = hardware default, 1 = serial reference engine.
     unsigned Threads = 0;
+    /// Observability sinks forwarded to every session the protocol
+    /// creates (both phases), so benches can print per-phase cost next
+    /// to the paper tables. Null = off.
+    support::StatsRegistry *Stats = nullptr;
+    support::EventTracer *Tracer = nullptr;
   };
 
   explicit FaultRunner(const FaultInfo &Fault);

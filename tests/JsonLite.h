@@ -1,0 +1,248 @@
+//===-- tests/JsonLite.h - Minimal JSON parser for tests ---------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small recursive-descent JSON parser so tests can check
+/// that the observability layer's emitters (--stats=json, Chrome trace
+/// files) produce structurally valid documents without pulling in a JSON
+/// dependency. Strict enough for well-formedness testing: rejects
+/// trailing garbage, unterminated strings, and malformed literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_TESTS_JSONLITE_H
+#define EOE_TESTS_JSONLITE_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eoe {
+namespace jsonlite {
+
+/// One parsed JSON value; a tagged union kept simple for test assertions.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string String;
+  std::vector<Value> Array;
+  std::map<std::string, Value> Object;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  bool has(const std::string &Key) const {
+    return K == Kind::Object && Object.count(Key);
+  }
+  /// Object member access; returns a Null value for missing keys so
+  /// chained lookups in EXPECTs do not crash.
+  const Value &at(const std::string &Key) const {
+    static const Value Null;
+    if (K != Kind::Object)
+      return Null;
+    auto It = Object.find(Key);
+    return It == Object.end() ? Null : It->second;
+  }
+};
+
+namespace detail {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> V = parseValue();
+    skipWs();
+    if (!V || Pos != Text.size())
+      return std::nullopt;
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!eat('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return std::nullopt;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'n': Out += '\n'; break;
+        case 'r': Out += '\r'; break;
+        case 't': Out += '\t'; break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return std::nullopt;
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos++];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return std::nullopt;
+          }
+          // Tests only escape control/ASCII; wider code points would
+          // need UTF-8 encoding, which the emitters never produce.
+          Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+          break;
+        }
+        default:
+          return std::nullopt;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return std::nullopt; // raw control character
+      Out += C;
+    }
+    return std::nullopt; // unterminated
+  }
+
+  std::optional<Value> parseValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return std::nullopt;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Value V;
+      V.K = Value::Kind::Object;
+      skipWs();
+      if (eat('}'))
+        return V;
+      while (true) {
+        std::optional<std::string> Key = [&]() -> std::optional<std::string> {
+          skipWs();
+          return parseString();
+        }();
+        if (!Key || !eat(':'))
+          return std::nullopt;
+        std::optional<Value> Member = parseValue();
+        if (!Member)
+          return std::nullopt;
+        V.Object[*Key] = std::move(*Member);
+        if (eat(','))
+          continue;
+        if (eat('}'))
+          return V;
+        return std::nullopt;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Value V;
+      V.K = Value::Kind::Array;
+      skipWs();
+      if (eat(']'))
+        return V;
+      while (true) {
+        std::optional<Value> Elem = parseValue();
+        if (!Elem)
+          return std::nullopt;
+        V.Array.push_back(std::move(*Elem));
+        if (eat(','))
+          continue;
+        if (eat(']'))
+          return V;
+        return std::nullopt;
+      }
+    }
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      Value V;
+      V.K = Value::Kind::String;
+      V.String = std::move(*S);
+      return V;
+    }
+    if (literal("true")) {
+      Value V;
+      V.K = Value::Kind::Bool;
+      V.Bool = true;
+      return V;
+    }
+    if (literal("false")) {
+      Value V;
+      V.K = Value::Kind::Bool;
+      return V;
+    }
+    if (literal("null"))
+      return Value();
+    // Number: delegate to strtod, then verify it consumed something.
+    const char *Begin = Text.data() + Pos;
+    char *End = nullptr;
+    double D = std::strtod(Begin, &End);
+    if (End == Begin)
+      return std::nullopt;
+    Pos += static_cast<size_t>(End - Begin);
+    Value V;
+    V.K = Value::Kind::Number;
+    V.Number = D;
+    return V;
+  }
+};
+
+} // namespace detail
+
+/// Parses a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+inline std::optional<Value> parse(std::string_view Text) {
+  return detail::Parser(Text).run();
+}
+
+} // namespace jsonlite
+} // namespace eoe
+
+#endif // EOE_TESTS_JSONLITE_H

@@ -15,9 +15,13 @@
 #include "lang/Parser.h"
 #include "RandomProgram.h"
 #include "support/Diagnostic.h"
+#include "support/Stats.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 using namespace eoe;
 using namespace eoe::interp;
@@ -46,9 +50,11 @@ struct LocateOutcome {
 LocateOutcome locateWithThreads(const lang::Program &Faulty,
                                 const std::vector<int64_t> &Input,
                                 const std::vector<int64_t> &Expected,
-                                StmtId Root, unsigned Threads) {
+                                StmtId Root, unsigned Threads,
+                                support::StatsRegistry *Stats = nullptr) {
   core::DebugSession::Config C;
   C.Threads = Threads;
+  C.Stats = Stats;
   core::DebugSession Session(Faulty, Input, Expected, {}, C);
   EXPECT_TRUE(Session.hasFailure());
   RootOnlyOracle Oracle(Root);
@@ -137,5 +143,159 @@ TEST_P(ParallelDeterminism, SerialAndParallelLocateAreBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
                          ::testing::Range<uint64_t>(100, 110));
+
+/// A random omission fault that is not masked, shared by the registry
+/// tests below; nullopt when every probe seed masks (does not happen for
+/// the seeds used, but keep the tests honest).
+struct PreparedFault {
+  std::unique_ptr<lang::Program> Faulty;
+  std::vector<int64_t> Input;
+  std::vector<int64_t> Expected;
+  StmtId Root = InvalidId;
+};
+
+std::optional<PreparedFault> prepareFault(uint64_t Seed) {
+  RandomProgramGenerator Gen(Seed);
+  auto Variant = Gen.generateOmission();
+  DiagnosticEngine Diags;
+  auto Fixed = lang::parseAndCheck(Variant.FixedSource, Diags);
+  auto Faulty = lang::parseAndCheck(Variant.FaultySource, Diags);
+  if (!Fixed || !Faulty)
+    return std::nullopt;
+  analysis::StaticAnalysis FixedSA(*Fixed);
+  Interpreter FixedInterp(*Fixed, FixedSA);
+  ExecutionTrace FixedRun = FixedInterp.run(Variant.Input);
+  if (FixedRun.Exit != ExitReason::Finished)
+    return std::nullopt;
+  PreparedFault F;
+  F.Expected = FixedRun.outputValues();
+  core::DebugSession Probe(*Faulty, Variant.Input, F.Expected, {});
+  if (!Probe.hasFailure())
+    return std::nullopt;
+  F.Root = Faulty->statementAtLine(Variant.RootCauseLine);
+  if (!isValidId(F.Root))
+    return std::nullopt;
+  F.Faulty = std::move(Faulty);
+  F.Input = Variant.Input;
+  return F;
+}
+
+// The registry keys whose values are semantic -- functions of which
+// work was done, not of when threads did it -- and therefore must be
+// bit-identical across thread counts. Deliberately an allowlist:
+// scheduling-dependent keys (interp.ctx_reuses, interp.ctx_acquires,
+// verify.batches, verify.batch_requests, verify.prepare_batches,
+// verify.prepared_runs) legitimately differ between the serial
+// reference loop and the batched engine.
+const char *const InvariantCounterKeys[] = {
+    "interp.runs", "interp.switched_runs", "interp.steps", "interp.outputs",
+    "interp.aborted_runs", "align.aligners", "align.queries", "align.matched",
+    "align.prefix_hits", "align.regions_walked",
+    "align.no_match.region_ended_early", "align.no_match.branch_diverged",
+    "align.no_match.static_mismatch", "align.no_match.switch_not_applied",
+    "verify.verifications", "verify.reexecutions", "verify.reexec_aborts",
+    "verify.verdict_cache_hits", "verify.verdict_cache_misses",
+    "verify.verdict.strong", "verify.verdict.implicit",
+    "verify.verdict.not_implicit", "locate.rounds", "locate.expanded_edges",
+    "locate.strong_edges", "locate.candidate_requests",
+    "locate.fanout_requests", "slicing.prune_rounds", "slicing.oracle_queries",
+    "slicing.benign_marks", "slicing.corrupted_marks",
+    "slicing.dynamic_slices", "slicing.relevant_slices",
+};
+
+TEST(ParallelStats, RegistryCountersAreThreadCountInvariant) {
+  // Satellite of the observability PR: the determinism contract extends
+  // to the stats registry. Serial and 4-thread locate runs must agree on
+  // every distinct-key counter above, on several seeds.
+  int Checked = 0;
+  for (uint64_t Seed : {100, 101, 102, 103, 104, 105}) {
+    std::optional<PreparedFault> F = prepareFault(Seed);
+    if (!F)
+      continue;
+    support::StatsRegistry SerialReg, ParallelReg;
+    locateWithThreads(*F->Faulty, F->Input, F->Expected, F->Root, 1,
+                      &SerialReg);
+    locateWithThreads(*F->Faulty, F->Input, F->Expected, F->Root, 4,
+                      &ParallelReg);
+    support::StatsSnapshot Serial = SerialReg.snapshot();
+    support::StatsSnapshot Parallel = ParallelReg.snapshot();
+    auto Get = [](const support::StatsSnapshot &S, const char *Key) {
+      auto It = S.Counters.find(Key);
+      return It == S.Counters.end() ? uint64_t(0) : It->second;
+    };
+    for (const char *Key : InvariantCounterKeys)
+      EXPECT_EQ(Get(Serial, Key), Get(Parallel, Key))
+          << "seed " << Seed << " counter " << Key;
+    // Histogram *distributions* over semantic values are invariant too.
+    for (const char *Key : {"verify.reexec_steps", "locate.final_slice_size",
+                            "locate.candidates_per_use",
+                            "slicing.pruned_slice_size"}) {
+      auto SIt = Serial.Histograms.find(Key);
+      auto PIt = Parallel.Histograms.find(Key);
+      ASSERT_EQ(SIt == Serial.Histograms.end(),
+                PIt == Parallel.Histograms.end())
+          << "seed " << Seed << " histogram " << Key;
+      if (SIt == Serial.Histograms.end())
+        continue;
+      EXPECT_EQ(SIt->second.Count, PIt->second.Count)
+          << "seed " << Seed << " histogram " << Key;
+      EXPECT_EQ(SIt->second.Sum, PIt->second.Sum)
+          << "seed " << Seed << " histogram " << Key;
+      EXPECT_EQ(SIt->second.Max, PIt->second.Max)
+          << "seed " << Seed << " histogram " << Key;
+      EXPECT_EQ(SIt->second.Buckets, PIt->second.Buckets)
+          << "seed " << Seed << " histogram " << Key;
+    }
+    ++Checked;
+  }
+  ASSERT_GT(Checked, 0) << "every probe seed was masked";
+}
+
+TEST(ParallelStats, SnapshotsDuringParallelLocateAreRaceFree) {
+  // Regression test for the verifier's counter unification: snapshots
+  // and the verifier's accessor views must be data-race free against
+  // pool workers incrementing the same metrics (run under
+  // -DEOE_SANITIZE=thread via the parallel label).
+  std::optional<PreparedFault> F;
+  for (uint64_t Seed : {100, 101, 102, 103, 104, 105}) {
+    F = prepareFault(Seed);
+    if (F)
+      break;
+  }
+  ASSERT_TRUE(F) << "every probe seed was masked";
+
+  support::StatsRegistry Reg;
+  core::DebugSession::Config C;
+  C.Threads = 4;
+  C.Stats = &Reg;
+  core::DebugSession Session(*F->Faulty, F->Input, F->Expected, {}, C);
+  ASSERT_TRUE(Session.hasFailure());
+
+  std::atomic<bool> Done{false};
+  std::thread Reader([&] {
+    uint64_t PrevSnapshot = 0, PrevAccessor = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      support::StatsSnapshot S = Reg.snapshot();
+      auto It = S.Counters.find("verify.verifications");
+      uint64_t FromSnapshot = It == S.Counters.end() ? 0 : It->second;
+      // The accessors are thin views over the same registry counters;
+      // both observation paths must be monotonic and race-free mid-run.
+      uint64_t FromAccessor = Session.verifier().verificationCount();
+      EXPECT_GE(FromSnapshot, PrevSnapshot);
+      EXPECT_GE(FromAccessor, PrevAccessor);
+      PrevSnapshot = FromSnapshot;
+      PrevAccessor = FromAccessor;
+      std::this_thread::yield();
+    }
+  });
+  RootOnlyOracle Oracle(F->Root);
+  core::LocateReport R = Session.locate(Oracle);
+  Done.store(true, std::memory_order_release);
+  Reader.join();
+
+  EXPECT_EQ(R.Verifications, Session.verifier().verificationCount());
+  EXPECT_EQ(R.Verifications, Reg.counter("verify.verifications").get());
+  EXPECT_EQ(R.Reexecutions, Reg.counter("verify.reexecutions").get());
+}
 
 } // namespace

@@ -25,6 +25,8 @@
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "support/Diagnostic.h"
+#include "support/EventTracer.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "interp/TraceIO.h"
 #include "viz/Dot.h"
@@ -55,6 +57,14 @@ struct CliOptions {
   bool Relevant = false;
   std::string Function = "main";
   std::string SavePath;
+
+  /// Observability: --stats[=json] and --trace-out=FILE. The sinks are
+  /// owned by main() and live through the whole command.
+  bool Stats = false;
+  bool StatsJson = false;
+  std::string TraceOut;
+  support::StatsRegistry *StatsReg = nullptr;
+  support::EventTracer *Tracer = nullptr;
 };
 
 void usage() {
@@ -79,7 +89,12 @@ void usage() {
       "  --max-steps N         step budget (default 5000000)\n"
       "  --threads N           verification worker threads (locate);\n"
       "                        0 = all hardware threads, 1 = serial\n"
-      "  --no-trace            run without dependence tracing (run)\n");
+      "  --no-trace            run without dependence tracing (run)\n"
+      "  --stats[=json]        per-phase pipeline statistics: a table on\n"
+      "                        stderr, or =json for schema eoe-stats-v1\n"
+      "                        JSON as the last stdout line\n"
+      "  --trace-out=FILE      write a Chrome trace_event JSON timeline\n"
+      "                        (open in chrome://tracing or Perfetto)\n");
 }
 
 std::vector<int64_t> parseIntList(const std::string &Text) {
@@ -151,6 +166,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Function = V;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--stats=json") {
+      Opts.Stats = true;
+      Opts.StatsJson = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      Opts.TraceOut = Arg.substr(std::strlen("--trace-out="));
+    } else if (Arg == "--trace-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TraceOut = V;
     } else if (Arg == "--no-trace") {
       Opts.NoTrace = true;
     } else if (Arg == "--relevant") {
@@ -192,11 +219,15 @@ const char *exitReasonName(interp::ExitReason Reason) {
 
 int cmdRun(const CliOptions &Opts, const lang::Program &Prog) {
   analysis::StaticAnalysis SA(Prog);
-  interp::Interpreter Interp(Prog, SA);
+  interp::Interpreter Interp(Prog, SA, Opts.StatsReg);
   interp::Interpreter::Options RunOpts;
   RunOpts.MaxSteps = Opts.MaxSteps;
   RunOpts.Trace = !Opts.NoTrace;
-  interp::ExecutionTrace T = Interp.run(Opts.Input, RunOpts);
+  interp::ExecutionTrace T;
+  {
+    support::EventTracer::Span Span(Opts.Tracer, "interpret", "interp");
+    T = Interp.run(Opts.Input, RunOpts);
+  }
   for (const interp::OutputEvent &E : T.Outputs)
     std::printf("%lld\n", static_cast<long long>(E.Value));
   std::fprintf(stderr, "[%s; exit value %lld; %zu instances; %zu outputs]\n",
@@ -207,10 +238,14 @@ int cmdRun(const CliOptions &Opts, const lang::Program &Prog) {
 
 int cmdTrace(const CliOptions &Opts, const lang::Program &Prog) {
   analysis::StaticAnalysis SA(Prog);
-  interp::Interpreter Interp(Prog, SA);
+  interp::Interpreter Interp(Prog, SA, Opts.StatsReg);
   interp::Interpreter::Options RunOpts;
   RunOpts.MaxSteps = Opts.MaxSteps;
-  interp::ExecutionTrace T = Interp.run(Opts.Input, RunOpts);
+  interp::ExecutionTrace T;
+  {
+    support::EventTracer::Span Span(Opts.Tracer, "interpret", "interp");
+    T = Interp.run(Opts.Input, RunOpts);
+  }
   if (!Opts.SavePath.empty()) {
     std::ofstream Out(Opts.SavePath);
     if (!Out) {
@@ -246,10 +281,17 @@ int cmdSwitch(const CliOptions &Opts, const lang::Program &Prog) {
     return 2;
   }
   analysis::StaticAnalysis SA(Prog);
-  interp::Interpreter Interp(Prog, SA);
-  interp::ExecutionTrace Original = Interp.run(Opts.Input);
-  interp::ExecutionTrace Switched = Interp.runSwitched(
-      Opts.Input, {Pred, Opts.Instance}, Opts.MaxSteps);
+  interp::Interpreter Interp(Prog, SA, Opts.StatsReg);
+  interp::ExecutionTrace Original, Switched;
+  {
+    support::EventTracer::Span Span(Opts.Tracer, "interpret", "interp");
+    Original = Interp.run(Opts.Input);
+  }
+  {
+    support::EventTracer::Span Span(Opts.Tracer, "reexec", "interp");
+    Switched = Interp.runSwitched(Opts.Input, {Pred, Opts.Instance},
+                                  Opts.MaxSteps);
+  }
 
   std::printf("original outputs: ");
   for (int64_t V : Original.outputValues())
@@ -273,7 +315,10 @@ int cmdSlice(const CliOptions &Opts, const lang::Program &Prog) {
     std::fprintf(stderr, "error: slice requires --expected\n");
     return 2;
   }
-  core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {});
+  core::DebugSession::Config Config;
+  Config.Stats = Opts.StatsReg;
+  Config.Tracer = Opts.Tracer;
+  core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
     std::printf("no failure: outputs match the expected sequence\n");
     return 0;
@@ -333,6 +378,8 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   core::DebugSession::Config Config;
   Config.MaxSteps = Opts.MaxSteps;
   Config.Threads = Opts.Threads;
+  Config.Stats = Opts.StatsReg;
+  Config.Tracer = Opts.Tracer;
   core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
     std::printf("no failure: outputs match the expected sequence\n");
@@ -416,20 +463,46 @@ int main(int Argc, char **Argv) {
   if (!Prog)
     return 2;
 
+  // The sinks outlive the command so the final dump sees everything.
+  support::StatsRegistry Stats;
+  support::EventTracer Tracer;
+  if (Opts.Stats || !Opts.TraceOut.empty())
+    Opts.StatsReg = &Stats;
+  if (!Opts.TraceOut.empty())
+    Opts.Tracer = &Tracer;
+
+  int Rc = 2;
+  bool Known = true;
   if (Opts.Command == "run")
-    return cmdRun(Opts, *Prog);
-  if (Opts.Command == "trace")
-    return cmdTrace(Opts, *Prog);
-  if (Opts.Command == "switch")
-    return cmdSwitch(Opts, *Prog);
-  if (Opts.Command == "slice")
-    return cmdSlice(Opts, *Prog);
-  if (Opts.Command == "locate")
-    return cmdLocate(Opts, *Prog);
-  if (Opts.Command == "dot-cfg" || Opts.Command == "dot-regions" ||
-      Opts.Command == "dot-ddg")
-    return cmdDot(Opts, *Prog);
-  std::fprintf(stderr, "error: unknown command '%s'\n", Opts.Command.c_str());
-  usage();
-  return 2;
+    Rc = cmdRun(Opts, *Prog);
+  else if (Opts.Command == "trace")
+    Rc = cmdTrace(Opts, *Prog);
+  else if (Opts.Command == "switch")
+    Rc = cmdSwitch(Opts, *Prog);
+  else if (Opts.Command == "slice")
+    Rc = cmdSlice(Opts, *Prog);
+  else if (Opts.Command == "locate")
+    Rc = cmdLocate(Opts, *Prog);
+  else if (Opts.Command == "dot-cfg" || Opts.Command == "dot-regions" ||
+           Opts.Command == "dot-ddg")
+    Rc = cmdDot(Opts, *Prog);
+  else
+    Known = false;
+  if (!Known) {
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 Opts.Command.c_str());
+    usage();
+    return 2;
+  }
+
+  if (!Opts.TraceOut.empty() && !Tracer.writeFile(Opts.TraceOut)) {
+    std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                 Opts.TraceOut.c_str());
+    return 2;
+  }
+  if (Opts.StatsJson)
+    std::printf("%s\n", Stats.toJson().c_str());
+  else if (Opts.Stats)
+    std::fprintf(stderr, "%s", Stats.str().c_str());
+  return Rc;
 }
