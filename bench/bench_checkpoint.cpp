@@ -1,0 +1,304 @@
+//===-- bench/bench_checkpoint.cpp - Checkpointed re-execution speedup ---------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// Measures locateFault with checkpointed switched-run re-execution
+// (docs/checkpointing.md) against the full-replay reference. The subject
+// front-loads a heavy crc loop so every candidate predicate sits past
+// 50% of the trace: full replay pays the whole prefix per switched run,
+// while the checkpointed engine snapshots once and resumes each run by
+// splicing the recorded prefix.
+//
+// Two claims are checked:
+//  - determinism (hard assertion, any machine): reports and verified
+//    implicit edges are bit-identical across {checkpoints on, off} x
+//    {1, 4 threads};
+//  - speedup (asserted only when the serial full-replay baseline is slow
+//    enough for wall-clock ratios to be hardware-independent, mirroring
+//    bench_parallel's gating): >= 2x end-to-end locate at 1 thread.
+//
+// Emits machine-readable results to BENCH_checkpoint.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/DebugSession.h"
+#include "lang/Parser.h"
+#include "support/Diagnostic.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace eoe;
+using namespace eoe::core;
+
+namespace {
+
+constexpr int GuardCount = 10;
+constexpr int RootGuard = 3; // the guard whose missing effect is the fault
+constexpr int LoopIters = 60000;
+
+/// A heavy crc prefix FIRST, then K guards over flags. The candidate
+/// predicates of the wrong output (flags) are exactly the guards, all
+/// past the crc loop -- the worst case for full prefix replay and the
+/// best case for snapshot/resume. Each loop statement mixes several
+/// multiplies/mods so the interpreter's per-step execution cost is large
+/// relative to the cost of splicing that step's record.
+std::string subject(bool Fixed) {
+  std::string Src = "fn main() {\n";
+  for (int G = 0; G < GuardCount; ++G)
+    Src += "var c" + std::to_string(G) + " = " +
+           ((Fixed && G == RootGuard) ? "1" : "0") + ";\n";
+  Src += "var flags = 0;\n"
+         "var i = 0;\n"
+         "var crc = 0;\n"
+         "var mix = 1;\n"
+         "while (i < " + std::to_string(LoopIters) + ") {\n"
+         "crc = (crc * 31 + (i % 7) * (i % 11) + mix * 13) % 65521;\n"
+         "mix = (mix * 17 + crc % 251 + (i % 5) * 29) % 8191;\n"
+         "i = i + 1;\n"
+         "}\n";
+  for (int G = 0; G < GuardCount; ++G)
+    Src += "if (c" + std::to_string(G) + ") {\n" +
+           "flags = flags + " + std::to_string(1 << G) + ";\n" +
+           "}\n";
+  Src += "print(crc);\n"
+         "print(flags);\n"
+         "}\n";
+  return Src;
+}
+
+class RootOnlyOracle : public slicing::Oracle {
+public:
+  explicit RootOnlyOracle(StmtId Root) : Root(Root) {}
+  bool isBenign(TraceIdx) override { return false; }
+  bool isRootCause(StmtId S) override { return S == Root; }
+
+private:
+  StmtId Root;
+};
+
+struct RunResult {
+  unsigned Threads = 0;
+  unsigned Checkpoints = 0;
+  double LocateMs = 0;
+  LocateReport Report;
+  std::vector<ddg::DepGraph::ImplicitEdge> Edges;
+  uint64_t CkptHits = 0;
+  uint64_t CkptMisses = 0;
+  uint64_t CkptStored = 0;
+  uint64_t SplicedSteps = 0;
+  double RestoreMs = 0;
+  double CollectMs = 0;
+};
+
+bool sameOutcome(const RunResult &A, const RunResult &B) {
+  if (A.Report.RootCauseFound != B.Report.RootCauseFound ||
+      A.Report.UserPrunings != B.Report.UserPrunings ||
+      A.Report.Verifications != B.Report.Verifications ||
+      A.Report.Reexecutions != B.Report.Reexecutions ||
+      A.Report.Iterations != B.Report.Iterations ||
+      A.Report.ExpandedEdges != B.Report.ExpandedEdges ||
+      A.Report.StrongEdges != B.Report.StrongEdges ||
+      A.Report.FinalPrunedSlice != B.Report.FinalPrunedSlice ||
+      A.Edges.size() != B.Edges.size())
+    return false;
+  for (size_t I = 0; I < A.Edges.size(); ++I)
+    if (A.Edges[I].Use != B.Edges[I].Use ||
+        A.Edges[I].Pred != B.Edges[I].Pred ||
+        A.Edges[I].Strong != B.Edges[I].Strong)
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Checkpointed switched-run re-execution: locateFault "
+                "wall-clock, snapshot/resume vs full prefix replay "
+                "(bit-identical results required)");
+
+  DiagnosticEngine Diags;
+  auto Fixed = lang::parseAndCheck(subject(/*Fixed=*/true), Diags);
+  auto Faulty = lang::parseAndCheck(subject(/*Fixed=*/false), Diags);
+  if (!Fixed || !Faulty) {
+    std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  analysis::StaticAnalysis FixedSA(*Fixed);
+  interp::Interpreter FixedInterp(*Fixed, FixedSA);
+  std::vector<int64_t> Expected = FixedInterp.run({}).outputValues();
+
+  uint32_t RootLine = static_cast<uint32_t>(2 + RootGuard);
+  StmtId Root = Faulty->statementAtLine(RootLine);
+  if (!isValidId(Root)) {
+    std::fprintf(stderr, "no statement at root line %u\n", RootLine);
+    return 1;
+  }
+
+  const unsigned Hardware = std::thread::hardware_concurrency();
+  std::vector<RunResult> Runs;
+  size_t TraceLen = 0;
+  for (unsigned Threads : {1u, 4u}) {
+    for (unsigned Checkpoints : {0u, 1u}) {
+      support::StatsRegistry Stats;
+      DebugSession::Config C;
+      C.Threads = Threads;
+      C.Locate.Checkpoints = Checkpoints;
+      C.Stats = &Stats;
+      DebugSession Session(*Faulty, {}, Expected, {}, C);
+      if (!Session.hasFailure()) {
+        std::fprintf(stderr, "fault did not reproduce\n");
+        return 1;
+      }
+      TraceLen = Session.trace().size();
+      RootOnlyOracle Oracle(Root);
+
+      RunResult R;
+      R.Threads = Threads;
+      R.Checkpoints = Checkpoints;
+      Timer LocateTimer;
+      R.Report = Session.locate(Oracle);
+      R.LocateMs = LocateTimer.seconds() * 1000;
+      R.Edges = Session.graph().implicitEdges();
+      if (!R.Report.RootCauseFound) {
+        std::fprintf(stderr, "root cause not found (threads=%u ckpt=%u)\n",
+                     Threads, Checkpoints);
+        return 1;
+      }
+      support::StatsSnapshot S = Stats.snapshot();
+      auto Counter = [&](const char *Key) {
+        auto It = S.Counters.find(Key);
+        return It == S.Counters.end() ? uint64_t(0) : It->second;
+      };
+      auto TimerMs = [&](const char *Key) {
+        auto It = S.Timers.find(Key);
+        return It == S.Timers.end() ? 0.0 : It->second.Seconds * 1000;
+      };
+      R.CkptHits = Counter("verify.ckpt.hits");
+      R.CkptMisses = Counter("verify.ckpt.misses");
+      R.CkptStored = Counter("verify.ckpt.stored");
+      R.SplicedSteps = Counter("interp.spliced_steps");
+      R.RestoreMs = TimerMs("verify.ckpt.restore_time");
+      R.CollectMs = TimerMs("verify.ckpt.collect_time");
+      Runs.push_back(std::move(R));
+    }
+  }
+
+  // Determinism first: every mode must reproduce the full-replay serial
+  // outcome exactly. This is the hard claim; it holds on any machine.
+  const RunResult &Baseline = Runs.front(); // threads=1, checkpoints off
+  bool Identical = true;
+  for (const RunResult &R : Runs)
+    Identical = Identical && sameOutcome(Baseline, R);
+
+  Table T({"threads", "ckpt", "locate (ms)", "speedup", "hits", "misses",
+           "spliced steps", "restore (ms)", "collect (ms)", "identical"});
+  for (const RunResult &R : Runs) {
+    double Speedup = R.LocateMs > 0 ? Baseline.LocateMs / R.LocateMs : 0;
+    T.addRow({std::to_string(R.Threads), R.Checkpoints ? "on" : "off",
+              formatDouble(R.LocateMs, 2), formatDouble(Speedup, 2),
+              std::to_string(R.CkptHits), std::to_string(R.CkptMisses),
+              std::to_string(R.SplicedSteps), formatDouble(R.RestoreMs, 2),
+              formatDouble(R.CollectMs, 2),
+              sameOutcome(Baseline, R) ? "yes" : "NO"});
+  }
+  std::printf("%s", T.str().c_str());
+  std::printf("\nsubject: %d candidate predicates past a %d-iteration crc "
+              "prefix, trace length %zu, hardware_concurrency %u\n",
+              GuardCount, LoopIters, TraceLen, Hardware);
+
+  // Speedup at one thread: checkpoints on vs off. Gated on the baseline
+  // being slow enough that the ratio is a property of the algorithm, not
+  // of timer resolution or machine noise (mirrors bench_parallel, which
+  // gates its speedup assertion on hardware capability).
+  double Speedup1 = 0, Speedup4 = 0;
+  double Base4 = 0, Ckpt4 = 0;
+  for (const RunResult &R : Runs) {
+    if (R.Threads == 1 && R.Checkpoints && R.LocateMs > 0)
+      Speedup1 = Baseline.LocateMs / R.LocateMs;
+    if (R.Threads == 4 && !R.Checkpoints)
+      Base4 = R.LocateMs;
+    if (R.Threads == 4 && R.Checkpoints)
+      Ckpt4 = R.LocateMs;
+  }
+  if (Ckpt4 > 0)
+    Speedup4 = Base4 / Ckpt4;
+  const double MinBaselineMs = 20;
+  const bool SpeedupApplies = Baseline.LocateMs >= MinBaselineMs;
+  const bool SpeedupOk = Speedup1 >= 2.0;
+  if (SpeedupApplies)
+    std::printf("speedup at 1 thread (ckpt on vs off): %sx (required >= 2x): "
+                "%s\n",
+                formatDouble(Speedup1, 2).c_str(), SpeedupOk ? "PASS" : "FAIL");
+  else
+    std::printf("speedup at 1 thread: %sx -- assertion SKIPPED (baseline "
+                "%s ms < %s ms; determinism still asserted)\n",
+                formatDouble(Speedup1, 2).c_str(),
+                formatDouble(Baseline.LocateMs, 2).c_str(),
+                formatDouble(MinBaselineMs, 0).c_str());
+  std::printf("speedup at 4 threads (ckpt on vs off): %sx\n",
+              formatDouble(Speedup4, 2).c_str());
+  std::printf("determinism across modes and thread counts: %s\n",
+              Identical ? "BIT-IDENTICAL" : "MISMATCH (bug!)");
+
+  // Machine-readable results.
+  const char *JsonPath = "BENCH_checkpoint.json";
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::fprintf(F, "{\n");
+    std::fprintf(F, "  \"bench\": \"bench_checkpoint\",\n");
+    std::fprintf(F, "  \"hardware_concurrency\": %u,\n", Hardware);
+    std::fprintf(F,
+                 "  \"subject\": {\"candidate_predicates\": %d, "
+                 "\"loop_iters\": %d, \"trace_len\": %zu},\n",
+                 GuardCount, LoopIters, TraceLen);
+    std::fprintf(F, "  \"runs\": [\n");
+    for (size_t I = 0; I < Runs.size(); ++I) {
+      const RunResult &R = Runs[I];
+      std::fprintf(F,
+                   "    {\"threads\": %u, \"checkpoints\": %s, "
+                   "\"locate_ms\": %.3f, \"reexecutions\": %zu, "
+                   "\"ckpt_hits\": %llu, \"ckpt_misses\": %llu, "
+                   "\"ckpt_stored\": %llu, \"spliced_steps\": %llu, "
+                   "\"restore_ms\": %.3f, \"collect_ms\": %.3f, "
+                   "\"identical_to_baseline\": %s}%s\n",
+                   R.Threads, R.Checkpoints ? "true" : "false", R.LocateMs,
+                   R.Report.Reexecutions,
+                   static_cast<unsigned long long>(R.CkptHits),
+                   static_cast<unsigned long long>(R.CkptMisses),
+                   static_cast<unsigned long long>(R.CkptStored),
+                   static_cast<unsigned long long>(R.SplicedSteps),
+                   R.RestoreMs, R.CollectMs,
+                   sameOutcome(Baseline, R) ? "true" : "false",
+                   I + 1 < Runs.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"speedup_1t\": %.3f,\n", Speedup1);
+    std::fprintf(F, "  \"speedup_4t\": %.3f,\n", Speedup4);
+    std::fprintf(F, "  \"speedup_check\": \"%s\",\n",
+                 !SpeedupApplies ? "skipped: baseline too fast"
+                 : SpeedupOk     ? "pass"
+                                 : "fail");
+    std::fprintf(F, "  \"deterministic\": %s\n", Identical ? "true" : "false");
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", JsonPath);
+  }
+
+  if (!Identical)
+    return 1;
+  if (SpeedupApplies && !SpeedupOk)
+    return 1;
+  return 0;
+}

@@ -15,9 +15,16 @@ using namespace eoe::interp;
 
 ExecutionAligner::ExecutionAligner(const ExecutionTrace &Original,
                                    const ExecutionTrace &Switched,
-                                   support::StatsRegistry *Stats)
-    : E(Original), EP(Switched), TreeE(Original), TreeEP(Switched),
+                                   support::StatsRegistry *Stats,
+                                   const RegionTree *SharedOriginalTree)
+    : E(Original), EP(Switched), TreeEP(Switched),
       Switch(Switched.SwitchedStep) {
+  if (SharedOriginalTree) {
+    TreeE = SharedOriginalTree;
+  } else {
+    OwnedTreeE.emplace(Original);
+    TreeE = &*OwnedTreeE;
+  }
   if (Stats) {
     Stats->counter("align.aligners").add();
     CQueries = &Stats->counter("align.queries");
@@ -82,9 +89,9 @@ AlignResult ExecutionAligner::matchImpl(TraceIdx U) const {
   // Climb from Region(p) until the region contains u (Algorithm 1,
   // Match()). These regions all start before the switch point, so their
   // heads have identical indices in both executions.
-  TraceIdx R = TreeE.parent(Switch);
-  while (R != InvalidId && !TreeE.inRegion(U, R))
-    R = TreeE.parent(R);
+  TraceIdx R = TreeE->parent(Switch);
+  while (R != InvalidId && !TreeE->inRegion(U, R))
+    R = TreeE->parent(R);
   // R == InvalidId denotes the virtual whole-execution region.
   return matchInsideRegion(R, U, R);
 }
@@ -107,11 +114,11 @@ AlignResult ExecutionAligner::matchInsideRegion(TraceIdx R, TraceIdx U,
   // would overflow the stack on long-running loops.
   while (true) {
     ++Walked.N;
-    assert(TreeE.inRegion(U, R) && "region does not contain the query point");
+    assert(TreeE->inRegion(U, R) && "region does not contain the query point");
     if (R != InvalidId && U == R)
       return {RPrime, AlignFailure::None};
 
-    const std::vector<TraceIdx> &Cs = TreeE.children(R);
+    const std::vector<TraceIdx> &Cs = TreeE->children(R);
     const std::vector<TraceIdx> &CsP = TreeEP.children(RPrime);
 
     bool Descended = false;
@@ -125,7 +132,7 @@ AlignResult ExecutionAligner::matchInsideRegion(TraceIdx R, TraceIdx U,
       if (E.step(C).Stmt != EP.step(CP).Stmt)
         return {InvalidId, AlignFailure::StaticMismatch};
 
-      if (!TreeE.inRegion(U, C))
+      if (!TreeE->inRegion(U, C))
         continue; // Keep walking siblings in lockstep.
 
       if (C == U)

@@ -30,6 +30,8 @@
 #include "interp/Trace.h"
 #include "support/Stats.h"
 
+#include <optional>
+
 namespace eoe {
 namespace align {
 
@@ -69,16 +71,27 @@ public:
   /// When \p Stats is given, queries record their outcome mix and the
   /// number of region-tree siblings walked (align.queries, align.matched,
   /// align.no_match.*, align.regions_walked, align.prefix_hits).
+  ///
+  /// \p SharedOriginalTree, when non-null, must be the RegionTree of
+  /// \p Original and must outlive the aligner; the aligner then skips
+  /// rebuilding it. The original trace's tree is identical across every
+  /// switched run verified against it, so the verifier builds it once and
+  /// shares it -- halving per-switched-run alignment setup.
   ExecutionAligner(const interp::ExecutionTrace &Original,
                    const interp::ExecutionTrace &Switched,
-                   support::StatsRegistry *Stats = nullptr);
+                   support::StatsRegistry *Stats = nullptr,
+                   const RegionTree *SharedOriginalTree = nullptr);
+
+  // TreeE may point into OwnedTreeE, so the aligner must stay put.
+  ExecutionAligner(const ExecutionAligner &) = delete;
+  ExecutionAligner &operator=(const ExecutionAligner &) = delete;
 
   /// Finds the point in the switched run corresponding to instance \p U
   /// of the original run. \p U may be any instance (before or after the
   /// switch point).
   AlignResult match(TraceIdx U) const;
 
-  const RegionTree &originalTree() const { return TreeE; }
+  const RegionTree &originalTree() const { return *TreeE; }
   const RegionTree &switchedTree() const { return TreeEP; }
 
   /// The switched predicate instance (equal index in both runs);
@@ -91,7 +104,10 @@ private:
 
   const interp::ExecutionTrace &E;
   const interp::ExecutionTrace &EP;
-  RegionTree TreeE;
+  /// Engaged only when the original tree is not shared.
+  std::optional<RegionTree> OwnedTreeE;
+  /// The original run's region tree: &*OwnedTreeE or the shared one.
+  const RegionTree *TreeE;
   RegionTree TreeEP;
   TraceIdx Switch;
 

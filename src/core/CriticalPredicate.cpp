@@ -59,12 +59,17 @@ std::vector<TraceIdx> CriticalPredicateSearch::candidateOrder() const {
 
 CriticalPredicateSearch::Result CriticalPredicateSearch::search() const {
   Result R;
+  // One pooled context for the whole sweep: each runSwitched used to
+  // construct (and tear down) a throwaway ExecContext, so long candidate
+  // orders paid an allocation storm per switch.
+  interp::ExecContext Ctx;
   for (TraceIdx P : candidateOrder()) {
     if (R.Switches >= C.MaxSwitches)
       return R;
     const StepRecord &Step = E.step(P);
     ExecutionTrace EP =
-        Interp.runSwitched(Input, {Step.Stmt, Step.InstanceNo}, C.MaxSteps);
+        Interp.runSwitched(Input, {Step.Stmt, Step.InstanceNo}, C.MaxSteps,
+                           &Ctx);
     ++R.Switches;
     if (EP.Exit != ExitReason::Finished)
       continue;

@@ -54,6 +54,8 @@ DebugSession::DebugSession(const lang::Program &Prog,
   VC.MaxSteps = C.Locate.MaxSteps;
   VC.UsePathCheck = C.Locate.UsePathCheck;
   VC.Threads = C.Threads;
+  VC.CheckpointStride = C.Locate.Checkpoints;
+  VC.CheckpointMemBytes = C.Locate.CheckpointMemBytes;
   VC.Stats = C.Stats;
   VC.Tracer = C.Tracer;
   Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,

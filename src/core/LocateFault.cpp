@@ -100,6 +100,11 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
               PD.compute(I, Use, Config.OnePerPredicate);
           Reg.counter("locate.candidate_requests").add(Candidates.size());
           Reg.histogram("locate.candidates_per_use").record(Candidates.size());
+          // One-shot checkpoint collection over the first non-empty
+          // candidate set -- before any verification, and at the same
+          // point on the serial and batched paths, so checkpoint state
+          // is invariant across thread counts.
+          Verifier.maybeCollectCheckpoints(Candidates);
           std::vector<DepVerdict> Verdicts;
           if (Batched) {
             // The whole candidate set PD(u) as one batch: its switched

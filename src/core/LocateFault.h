@@ -62,6 +62,16 @@ struct LocateConfig {
   /// docs/parallelism.md); the serial path exists as the reference the
   /// determinism tests compare against.
   unsigned Threads = 0;
+  /// Checkpointed switched-run re-execution (docs/checkpointing.md):
+  /// snapshot interpreter state at every Nth candidate predicate
+  /// instance during one instrumented pass, then resume switched runs
+  /// from the nearest dominating snapshot instead of replaying the
+  /// whole prefix. 1 = checkpoint every candidate (default), larger
+  /// strides trade memory for replay distance, 0 = off (the reference
+  /// full-replay behavior). Bit-identical results either way.
+  unsigned Checkpoints = 1;
+  /// LRU byte budget for retained checkpoints.
+  size_t CheckpointMemBytes = 256ull << 20;
 };
 
 /// The paper's Table 3 row for one debugging session.

@@ -7,6 +7,7 @@
 
 #include "core/VerifyDep.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <functional>
@@ -43,12 +44,25 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
   CVerdictImplicit = &Reg->counter("verify.verdict.implicit");
   CVerdictNot = &Reg->counter("verify.verdict.not_implicit");
   CReexecAborts = &Reg->counter("verify.reexec_aborts");
+  // Registered even with checkpointing off, so the eoe-stats-v1 surface
+  // always carries the verify.ckpt.* keys (CheckObservability asserts
+  // their presence).
+  CCkptHits = &Reg->counter("verify.ckpt.hits");
+  CCkptMisses = &Reg->counter("verify.ckpt.misses");
+  CCkptStored = &Reg->counter("verify.ckpt.stored");
+  CCkptBytes = &Reg->counter("verify.ckpt.bytes");
+  CCkptEvictions = &Reg->counter("verify.ckpt.evictions");
+  CCkptSkippedDirty = &Reg->counter("verify.ckpt.skipped_dirty");
   TReexec = &Reg->timer("verify.reexec_time");
+  TCkptRestore = &Reg->timer("verify.ckpt.restore_time");
+  TCkptCollect = &Reg->timer("verify.ckpt.collect_time");
   TLatStrong = &Reg->timer("verify.latency.strong");
   TLatImplicit = &Reg->timer("verify.latency.implicit");
   TLatNot = &Reg->timer("verify.latency.not_implicit");
   HReexecSteps = &Reg->histogram("verify.reexec_steps");
   Arena.bindStats(this->C.Stats);
+  if (this->C.CheckpointStride > 0)
+    Ckpts = std::make_unique<CheckpointStore>(this->C.CheckpointMemBytes);
 }
 
 ImplicitDepVerifier::~ImplicitDepVerifier() = default;
@@ -86,11 +100,28 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
   Interpreter::Options Opts;
   Opts.MaxSteps = C.MaxSteps;
   Opts.Switch = Spec;
+
+  // Resume from the nearest dominating snapshot when one exists: the
+  // switched run is byte-identical to the original up to the switch
+  // point, so any checkpoint at or before PredInst is a valid start.
+  std::shared_ptr<const Checkpoint> CP;
+  if (Ckpts) {
+    CP = Ckpts->nearest(PredInst);
+    if (CP)
+      CCkptHits->add();
+    else
+      CCkptMisses->add();
+  }
   {
     support::EventTracer::Span Reexec(C.Tracer, "reexec", "interp");
     support::ScopedTimer Timed(TReexec);
     ExecContextPool::Lease Ctx = Arena.acquire();
-    Run.Trace = Interp.run(Input, Opts, *Ctx);
+    if (CP) {
+      support::ScopedTimer Restore(TCkptRestore);
+      Run.Trace = Interp.runFrom(*CP, E, Input, Opts, *Ctx);
+    } else {
+      Run.Trace = Interp.run(Input, Opts, *Ctx);
+    }
   }
   CReexecutions->add();
   HReexecSteps->record(Run.Trace.size());
@@ -98,10 +129,47 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
     CReexecAborts->add();
   {
     support::EventTracer::Span Align(C.Tracer, "align", "align");
-    Run.Aligner =
-        std::make_unique<align::ExecutionAligner>(E, Run.Trace, C.Stats);
+    std::call_once(OrigTreeOnce,
+                   [&] { OrigTree = std::make_unique<align::RegionTree>(E); });
+    Run.Aligner = std::make_unique<align::ExecutionAligner>(
+        E, Run.Trace, C.Stats, OrigTree.get());
   }
   Run.Ready.store(true, std::memory_order_release);
+}
+
+void ImplicitDepVerifier::maybeCollectCheckpoints(
+    const std::vector<TraceIdx> &Candidates) {
+  if (!Ckpts || Candidates.empty())
+    return;
+  std::call_once(CkptOnce, [&] {
+    CheckpointPlan Plan;
+    Plan.Store = Ckpts.get();
+    std::vector<TraceIdx> Sorted(Candidates);
+    std::sort(Sorted.begin(), Sorted.end());
+    Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+    Plan.Sites.reserve(Sorted.size() / C.CheckpointStride + 1);
+    for (size_t I = 0; I < Sorted.size(); I += C.CheckpointStride)
+      Plan.Sites.push_back(Sorted[I]);
+
+    // Replay the unswitched input once with collection instrumentation.
+    // The switched-run budget bounds the pass, so no snapshot can exist
+    // past the point where a full-replay switched run would have halted
+    // -- that keeps resumed runs byte-identical to full replays even at
+    // the step limit.
+    Interpreter::Options Opts;
+    Opts.MaxSteps = C.MaxSteps;
+    Opts.Checkpoints = &Plan;
+    {
+      support::EventTracer::Span Collect(C.Tracer, "ckpt.collect", "interp");
+      support::ScopedTimer Timed(TCkptCollect);
+      ExecContextPool::Lease Ctx = Arena.acquire();
+      Interp.run(Input, Opts, *Ctx);
+    }
+    CCkptStored->add(Plan.Collected);
+    CCkptBytes->add(Ckpts->bytes());
+    CCkptEvictions->add(Ckpts->evictions());
+    CCkptSkippedDirty->add(Plan.SkippedDirty);
+  });
 }
 
 const ImplicitDepVerifier::SwitchedRun &
@@ -127,6 +195,10 @@ void ImplicitDepVerifier::prepareSwitchedRuns(
       Todo.push_back(P);
   if (Todo.empty())
     return;
+  // Dispatch in ascending switch position: with checkpointing on, early
+  // tasks touch early snapshots first, keeping the LRU order aligned
+  // with the batch; verdicts are order-independent either way.
+  std::sort(Todo.begin(), Todo.end());
   Reg->counter("verify.prepare_batches").add();
   Reg->counter("verify.prepared_runs").add(Todo.size());
 

@@ -84,6 +84,19 @@ public:
     /// which is the serial reference path. The pool is created lazily,
     /// so plain verify()-only users never spawn threads.
     unsigned Threads = 0;
+    /// Checkpointed re-execution (docs/checkpointing.md). When non-zero,
+    /// the first non-empty candidate set passed to
+    /// maybeCollectCheckpoints triggers one instrumented pass over the
+    /// unswitched input that snapshots full interpreter state at every
+    /// CheckpointStride-th candidate predicate instance; switched runs
+    /// then resume from the nearest dominating snapshot, splicing the
+    /// recorded trace prefix instead of replaying it. Results are
+    /// byte-identical to full replay. 0 disables checkpointing entirely
+    /// (the reference behavior).
+    unsigned CheckpointStride = 0;
+    /// LRU byte budget for retained checkpoints; overflowing snapshots
+    /// are evicted and affected switched runs fall back to full replay.
+    size_t CheckpointMemBytes = 256ull << 20;
     /// External observability sinks. When Stats is null the verifier
     /// records into a private registry, so the distinct-key counters (and
     /// their accessors) work identically either way; when Tracer is null
@@ -113,6 +126,17 @@ public:
   /// True once \p PredInst's switched run is cached (no re-execution
   /// would be needed to verify against it).
   bool hasSwitchedRun(TraceIdx PredInst) const;
+
+  /// Checkpoint collection hook (no-op when Config::CheckpointStride is
+  /// 0 or \p Candidates is empty). The first non-empty call runs one
+  /// instrumented re-execution of the unswitched input, snapshotting at
+  /// every CheckpointStride-th of the (sorted, deduplicated) candidate
+  /// predicate instances; later calls return immediately. locateFault
+  /// invokes this right after computing each candidate set, before any
+  /// verification -- the same point on the serial and batched paths, so
+  /// checkpoint state (and the verify.ckpt.* counters) is thread-count
+  /// invariant. Thread-safe.
+  void maybeCollectCheckpoints(const std::vector<TraceIdx> &Candidates);
 
   /// The pool used for batched verification; nullptr when the effective
   /// thread count is 1 (serial mode). Created on first use.
@@ -189,7 +213,15 @@ private:
   support::StatCounter *CVerdictImplicit = nullptr;
   support::StatCounter *CVerdictNot = nullptr;
   support::StatCounter *CReexecAborts = nullptr;
+  support::StatCounter *CCkptHits = nullptr;
+  support::StatCounter *CCkptMisses = nullptr;
+  support::StatCounter *CCkptStored = nullptr;
+  support::StatCounter *CCkptBytes = nullptr;
+  support::StatCounter *CCkptEvictions = nullptr;
+  support::StatCounter *CCkptSkippedDirty = nullptr;
   support::StatTimer *TReexec = nullptr;
+  support::StatTimer *TCkptRestore = nullptr;
+  support::StatTimer *TCkptCollect = nullptr;
   support::StatTimer *TLatStrong = nullptr;
   support::StatTimer *TLatImplicit = nullptr;
   support::StatTimer *TLatNot = nullptr;
@@ -197,6 +229,17 @@ private:
 
   /// Recycled per-run interpreter state for switched re-executions.
   interp::ExecContextPool Arena;
+
+  /// Snapshot store for checkpointed re-execution; null when
+  /// Config::CheckpointStride is 0. Populated once by
+  /// maybeCollectCheckpoints (guarded by CkptOnce).
+  std::unique_ptr<interp::CheckpointStore> Ckpts;
+  std::once_flag CkptOnce;
+
+  /// The original trace's region tree, built once and shared by every
+  /// aligner (it is identical across all switched runs).
+  std::once_flag OrigTreeOnce;
+  std::unique_ptr<align::RegionTree> OrigTree;
 
   std::once_flag PoolOnce;
   std::unique_ptr<support::ThreadPool> Pool;

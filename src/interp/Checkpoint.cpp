@@ -1,0 +1,91 @@
+//===-- interp/Checkpoint.cpp - Interpreter snapshots -------------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Checkpoint.h"
+
+#include <algorithm>
+
+using namespace eoe;
+using namespace eoe::interp;
+
+static size_t stepRecordBytes(const StepRecord &R) {
+  return sizeof(StepRecord) + R.Uses.capacity() * sizeof(UseRecord) +
+         R.Defs.capacity() * sizeof(DefRecord);
+}
+
+size_t Checkpoint::bytes() const {
+  size_t N = sizeof(Checkpoint);
+  N += GlobalMem.capacity() * sizeof(int64_t);
+  N += GlobalLastDef.capacity() * sizeof(TraceIdx);
+  N += InstCount.capacity() * sizeof(uint32_t);
+  for (const CheckpointFrame &CF : Frames) {
+    N += sizeof(CheckpointFrame);
+    N += CF.State.Mem.capacity() * sizeof(int64_t);
+    N += CF.State.LastDef.capacity() * sizeof(TraceIdx);
+    // unordered_map node: key+value plus bucket/node overhead estimate.
+    N += CF.State.LastPredInstance.size() *
+         (sizeof(StmtId) + sizeof(TraceIdx) + 4 * sizeof(void *));
+    N += CF.Path.capacity() * sizeof(ResumeEntry);
+    N += stepRecordBytes(CF.PendingSnapshot);
+  }
+  return N;
+}
+
+void CheckpointStore::insert(std::shared_ptr<const Checkpoint> CP) {
+  std::lock_guard<std::mutex> Lock(M);
+  size_t Sz = CP->bytes();
+  if (Sz > Budget) {
+    ++Evicted; // Too large to ever retain: drop, count as evicted.
+    return;
+  }
+  TraceIdx Key = CP->Index;
+  auto [It, Inserted] = ByIndex.try_emplace(Key);
+  if (!Inserted)
+    return;
+  It->second.CP = std::move(CP);
+  It->second.LastUse = ++Tick;
+  Bytes += Sz;
+  while (Bytes > Budget && ByIndex.size() > 1) {
+    auto Victim = ByIndex.end();
+    for (auto I = ByIndex.begin(); I != ByIndex.end(); ++I) {
+      if (I->first == Key)
+        continue; // Never evict the snapshot just inserted.
+      if (Victim == ByIndex.end() || I->second.LastUse < Victim->second.LastUse)
+        Victim = I;
+    }
+    if (Victim == ByIndex.end())
+      break;
+    Bytes -= Victim->second.CP->bytes();
+    ByIndex.erase(Victim);
+    ++Evicted;
+  }
+}
+
+std::shared_ptr<const Checkpoint> CheckpointStore::nearest(TraceIdx At) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = ByIndex.upper_bound(At);
+  if (It == ByIndex.begin())
+    return nullptr;
+  --It;
+  It->second.LastUse = ++Tick;
+  return It->second.CP;
+}
+
+size_t CheckpointStore::count() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return ByIndex.size();
+}
+
+size_t CheckpointStore::bytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Bytes;
+}
+
+size_t CheckpointStore::evictions() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Evicted;
+}

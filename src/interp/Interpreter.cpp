@@ -9,8 +9,10 @@
 
 #include "support/Casting.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 using namespace eoe;
@@ -56,7 +58,9 @@ public:
          ExecContext &Ctx)
       : Prog(Prog), SA(SA), Input(Input), Opts(Opts), Ctx(Ctx),
         GlobalMem(Ctx.GlobalMem), GlobalLastDef(Ctx.GlobalLastDef),
-        InstCount(Ctx.InstCount), Tracing(Opts.Trace) {
+        InstCount(Ctx.InstCount), Tracing(Opts.Trace),
+        Collecting(Opts.Trace && Opts.Checkpoints && Opts.Checkpoints->Store &&
+                   !Opts.Checkpoints->Sites.empty()) {
     Ctx.beginRun(Prog.statements().size(), Prog.globalSlots());
     Trace.Steps.reserve(Ctx.stepsHint());
   }
@@ -65,11 +69,56 @@ public:
     initGlobals();
     if (Trace.Exit == ExitReason::Finished) {
       Frame Main = makeFrame(*Prog.function(Prog.mainFunction()), InvalidId);
+      if (Collecting)
+        Cont.push_back({&Main, InvalidId, 0});
       Flow F = execBody(Prog.function(Prog.mainFunction())->body(), Main);
+      if (Collecting)
+        Cont.pop_back();
       if (F == Flow::Return || F == Flow::Normal)
         Trace.ExitValue = Main.RetVal;
       Ctx.recycleFrame(std::move(Main));
     }
+    Ctx.noteTraceSize(Trace.Steps.size());
+    return std::move(Trace);
+  }
+
+  /// Resumes the checkpointed execution, splicing the prefix of \p From
+  /// (the trace of the run that captured \p CP) in place of re-executing
+  /// it. Byte-identical to a full run() whose switch/perturbation targets
+  /// lie at or after CP.Index -- see docs/checkpointing.md.
+  ExecutionTrace resume(const Checkpoint &CP, const ExecutionTrace &From) {
+    assert(Tracing && "resume requires a tracing run");
+    assert(!Collecting && "checkpoints are collected by full runs only");
+    assert(CP.Index <= From.Steps.size());
+    assert(CP.OutputCount <= From.Outputs.size());
+    assert(!CP.Frames.empty());
+
+    // Splice: the capturing run's prefix is byte-identical to what this
+    // run would have produced (determinism), except for the records of
+    // call statements still active at capture time, which completed later
+    // in From -- overwrite those with their as-of-capture copies.
+    Trace.Steps.reserve(
+        std::max(Ctx.stepsHint(), static_cast<size_t>(CP.Index)));
+    Trace.Steps.assign(From.Steps.begin(), From.Steps.begin() + CP.Index);
+    Trace.Outputs.assign(From.Outputs.begin(),
+                         From.Outputs.begin() + CP.OutputCount);
+    for (const CheckpointFrame &CF : CP.Frames)
+      if (CF.PendingRec != InvalidId)
+        Trace.Steps[CF.PendingRec] = CF.PendingSnapshot;
+
+    // Restore the interpreter state (beginRun() reset it in the ctor).
+    GlobalMem = CP.GlobalMem;
+    GlobalLastDef = CP.GlobalLastDef;
+    InstCount = CP.InstCount;
+    InputCursor = CP.InputCursor;
+    StepCount = CP.StepCount;
+    FrameCounter = CP.FrameCounter;
+
+    Frame Main = CP.Frames.front().State;
+    Flow F = resumeFrame(CP, /*Level=*/0, Main);
+    if (F == Flow::Return || F == Flow::Normal)
+      Trace.ExitValue = Main.RetVal;
+    Ctx.recycleFrame(std::move(Main));
     Ctx.noteTraceSize(Trace.Steps.size());
     return std::move(Trace);
   }
@@ -92,13 +141,90 @@ private:
   bool Tracing;
 
   //===--------------------------------------------------------------------===//
+  // Checkpoint collection state. Engaged only when Opts.Checkpoints names
+  // a non-empty plan; otherwise every `if (Collecting)` below is a single
+  // never-taken branch on a constant, so ordinary runs pay nothing.
+  //===--------------------------------------------------------------------===//
+
+  /// One live activation on the host stack, mirrored so a capture can
+  /// walk the continuation without unwinding.
+  struct ContLevel {
+    Frame *F;
+    /// The call-site record that created this frame (InvalidId for main).
+    TraceIdx PendingRec;
+    /// Index of this frame's first entry in Path.
+    size_t PathStart;
+  };
+
+  const bool Collecting;
+  size_t NextSite = 0;
+  /// Number of suspended calls that are not statement-root calls; while
+  /// non-zero, a capture cannot describe the continuation and planned
+  /// sites are skipped.
+  unsigned DirtyCalls = 0;
+  /// Set by execStmt just before evaluating a statement whose root
+  /// expression is exactly a call; consumed by evalCall.
+  bool NextCallClean = false;
+  /// The flattened descent path across all live frames; ContLevel's
+  /// PathStart partitions it per frame.
+  std::vector<ResumeEntry> Path;
+  std::vector<ContLevel> Cont;
+
+  //===--------------------------------------------------------------------===//
   // Trace recording helpers
   //===--------------------------------------------------------------------===//
+
+  /// Collection hook, called at the top of beginStep: if the next record
+  /// index is a planned site and every suspended call is clean, snapshot
+  /// the full interpreter state. Capturing *before* the instance-count
+  /// bump means a resumed run re-executes this statement, so a switch
+  /// targeting this predicate instance triggers naturally.
+  void maybeCapture(const Stmt *S) {
+    CheckpointPlan &Plan = *Opts.Checkpoints;
+    const TraceIdx Here = static_cast<TraceIdx>(Trace.Steps.size());
+    while (NextSite < Plan.Sites.size() && Plan.Sites[NextSite] < Here)
+      ++NextSite;
+    if (NextSite >= Plan.Sites.size() || Plan.Sites[NextSite] != Here)
+      return;
+    ++NextSite;
+    if (DirtyCalls > 0) {
+      ++Plan.SkippedDirty;
+      return;
+    }
+    assert(S->isPredicate() && "checkpoint sites must be predicate instances");
+    (void)S;
+    auto CP = std::make_shared<Checkpoint>();
+    CP->Index = Here;
+    CP->InputCursor = InputCursor;
+    CP->StepCount = StepCount;
+    CP->FrameCounter = FrameCounter;
+    CP->OutputCount = Trace.Outputs.size();
+    CP->GlobalMem = GlobalMem;
+    CP->GlobalLastDef = GlobalLastDef;
+    CP->InstCount = InstCount;
+    CP->Frames.reserve(Cont.size());
+    for (size_t L = 0; L < Cont.size(); ++L) {
+      CheckpointFrame CF;
+      CF.State = *Cont[L].F;
+      size_t PathEnd =
+          L + 1 < Cont.size() ? Cont[L + 1].PathStart : Path.size();
+      CF.Path.assign(Path.begin() + Cont[L].PathStart, Path.begin() + PathEnd);
+      if (L + 1 < Cont.size()) {
+        CF.PendingRec = Cont[L + 1].PendingRec;
+        CF.PendingSnapshot = Trace.Steps[CF.PendingRec];
+      }
+      CP->Frames.push_back(std::move(CF));
+    }
+    Plan.Store->insert(std::move(CP));
+    ++Plan.Collected;
+  }
 
   /// Starts a StepRecord for one execution of \p S in \p F, resolving the
   /// dynamic control-dependence parent. Returns the record's index, or
   /// InvalidId in non-tracing runs (which only count steps).
   TraceIdx beginStep(const Stmt *S, Frame &F) {
+    if (Collecting)
+      maybeCapture(S);
     ++InstCount[S->id()];
     if (++StepCount > Opts.MaxSteps)
       halt(ExitReason::StepLimit);
@@ -335,6 +461,12 @@ private:
   }
 
   int64_t evalCall(const CallExpr *Call, Frame &F, TraceIdx Rec) {
+    bool Clean = false;
+    if (Collecting) {
+      // Consume the flag here so calls nested in the arguments see false.
+      Clean = NextCallClean && Rec != InvalidId;
+      NextCallClean = false;
+    }
     const Function &Callee = *Prog.function(Call->callee());
     std::vector<int64_t> ArgValues;
     ArgValues.reserve(Call->args().size());
@@ -353,7 +485,17 @@ private:
       storeFrame(Inner, Info.Slot, Param, ArgValues[I], Rec);
     }
 
+    if (Collecting) {
+      if (!Clean)
+        ++DirtyCalls;
+      Cont.push_back({&Inner, Rec, Path.size()});
+    }
     execBody(Callee.body(), Inner);
+    if (Collecting) {
+      Cont.pop_back();
+      if (!Clean)
+        --DirtyCalls;
+    }
     if (Halted) {
       Ctx.recycleFrame(std::move(Inner));
       return 0;
@@ -373,13 +515,29 @@ private:
   // Statement execution
   //===--------------------------------------------------------------------===//
 
-  Flow execBody(const std::vector<Stmt *> &Body, Frame &F) {
-    for (Stmt *S : Body) {
-      Flow Result = execStmt(S, F);
-      if (Result != Flow::Normal)
-        return Result;
+  Flow execBody(const std::vector<Stmt *> &Body, Frame &F,
+                ResumeEntry::Body In = ResumeEntry::Body::Func) {
+    if (!Collecting) {
+      for (Stmt *S : Body) {
+        Flow Result = execStmt(S, F);
+        if (Result != Flow::Normal)
+          return Result;
+      }
+      return Flow::Normal;
     }
-    return Flow::Normal;
+    // Collection runs mirror the descent in Path so a capture can record
+    // the continuation: one entry per live body, updated per statement.
+    size_t Slot = Path.size();
+    Path.push_back({In, 0});
+    Flow Result = Flow::Normal;
+    for (uint32_t I = 0; I < Body.size(); ++I) {
+      Path[Slot].Index = I;
+      Result = execStmt(Body[I], F);
+      if (Result != Flow::Normal)
+        break;
+    }
+    Path.resize(Slot);
+    return Result;
   }
 
   /// Evaluates the condition of predicate instance \p Rec, applying the
@@ -409,6 +567,9 @@ private:
       const VarInfo &Info = Prog.variable(Decl->var());
       if (Info.isArray())
         return Halted ? Flow::Halt : Flow::Normal;
+      if (Collecting && Decl->init() &&
+          Decl->init()->kind() == Expr::Kind::Call)
+        NextCallClean = true;
       int64_t Value = Decl->init() ? evalExpr(Decl->init(), F, Rec) : 0;
       if (Halted)
         return Flow::Halt;
@@ -424,6 +585,8 @@ private:
     case Stmt::Kind::Assign: {
       const auto *A = cast<AssignStmt>(S);
       TraceIdx Rec = beginStep(S, F);
+      if (Collecting && A->value()->kind() == Expr::Kind::Call)
+        NextCallClean = true;
       int64_t Value = evalExpr(A->value(), F, Rec);
       if (Halted)
         return Flow::Halt;
@@ -465,25 +628,12 @@ private:
       bool Taken = evalPredicate(If->cond(), F, Rec, S->id());
       if (Halted)
         return Flow::Halt;
-      return execBody(Taken ? If->thenBody() : If->elseBody(), F);
+      return execBody(Taken ? If->thenBody() : If->elseBody(), F,
+                      Taken ? ResumeEntry::Body::Then
+                            : ResumeEntry::Body::Else);
     }
-    case Stmt::Kind::While: {
-      const auto *W = cast<WhileStmt>(S);
-      while (true) {
-        TraceIdx Rec = beginStep(S, F);
-        bool Taken = evalPredicate(W->cond(), F, Rec, S->id());
-        if (Halted)
-          return Flow::Halt;
-        if (!Taken)
-          return Flow::Normal;
-        Flow Result = execBody(W->body(), F);
-        if (Result == Flow::Break)
-          return Flow::Normal;
-        if (Result == Flow::Return || Result == Flow::Halt)
-          return Result;
-        // Normal and Continue both re-test the condition.
-      }
-    }
+    case Stmt::Kind::While:
+      return execWhileLoop(S, cast<WhileStmt>(S), F);
     case Stmt::Kind::Break:
       beginStep(S, F);
       return Halted ? Flow::Halt : Flow::Break;
@@ -493,6 +643,8 @@ private:
     case Stmt::Kind::Return: {
       const auto *R = cast<ReturnStmt>(S);
       TraceIdx Rec = beginStep(S, F);
+      if (Collecting && R->value() && R->value()->kind() == Expr::Kind::Call)
+        NextCallClean = true;
       int64_t Value = R->value() ? evalExpr(R->value(), F, Rec) : 0;
       if (Halted)
         return Flow::Halt;
@@ -522,11 +674,181 @@ private:
     }
     case Stmt::Kind::CallStmt: {
       TraceIdx Rec = beginStep(S, F);
+      if (Collecting)
+        NextCallClean = true;
       evalCall(cast<CallStmtNode>(S)->call(), F, Rec);
       return Halted ? Flow::Halt : Flow::Normal;
     }
     }
     return Flow::Normal;
+  }
+
+  /// The while statement's execution loop, starting (and, on resume,
+  /// restarting) at a condition test.
+  Flow execWhileLoop(Stmt *S, const WhileStmt *W, Frame &F) {
+    while (true) {
+      TraceIdx Rec = beginStep(S, F);
+      bool Taken = evalPredicate(W->cond(), F, Rec, S->id());
+      if (Halted)
+        return Flow::Halt;
+      if (!Taken)
+        return Flow::Normal;
+      Flow Result = execBody(W->body(), F, ResumeEntry::Body::Loop);
+      if (Result == Flow::Break)
+        return Flow::Normal;
+      if (Result == Flow::Return || Result == Flow::Halt)
+        return Result;
+      // Normal and Continue both re-test the condition.
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Checkpoint resumption
+  //===--------------------------------------------------------------------===//
+
+  /// The statement-root call expression of a clean call site.
+  static const CallExpr *rootCall(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::CallStmt:
+      return cast<CallStmtNode>(S)->call();
+    case Stmt::Kind::Assign:
+      return cast<CallExpr>(cast<AssignStmt>(S)->value());
+    case Stmt::Kind::VarDecl:
+      return cast<CallExpr>(cast<VarDeclStmt>(S)->init());
+    case Stmt::Kind::Return:
+      return cast<CallExpr>(cast<ReturnStmt>(S)->value());
+    default:
+      return nullptr;
+    }
+  }
+
+  Flow resumeFrame(const Checkpoint &CP, size_t Level, Frame &F) {
+    assert(!CP.Frames[Level].Path.empty() && "active frame without a path");
+    return resumePath(CP, Level, F, /*Depth=*/0, F.Func->body());
+  }
+
+  /// Re-descends one level of a captured continuation path: finishes the
+  /// statement the path points at, then executes the remainder of the
+  /// containing body exactly as execBody would have.
+  Flow resumePath(const Checkpoint &CP, size_t Level, Frame &F, size_t Depth,
+                  const std::vector<Stmt *> &Body) {
+    const CheckpointFrame &CF = CP.Frames[Level];
+    const ResumeEntry &E = CF.Path[Depth];
+    assert(E.Index < Body.size());
+    Stmt *S = Body[E.Index];
+    const bool Terminal = Depth + 1 == CF.Path.size();
+
+    Flow Result;
+    if (Terminal && Level + 1 == CP.Frames.size()) {
+      // The statement whose beginStep captured the snapshot: re-execute
+      // it outright. A capture at a while condition re-test lands here
+      // too -- execWhileLoop via execStmt *is* the remaining work, since
+      // the restored instance counters embody the finished iterations.
+      Result = execStmt(S, F);
+    } else if (Terminal) {
+      Result = resumeCallSite(CP, Level, S, F);
+    } else {
+      const ResumeEntry &Next = CF.Path[Depth + 1];
+      switch (S->kind()) {
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(S);
+        Result = resumePath(CP, Level, F, Depth + 1,
+                            Next.In == ResumeEntry::Body::Else
+                                ? If->elseBody()
+                                : If->thenBody());
+        break;
+      }
+      case Stmt::Kind::While: {
+        const auto *W = cast<WhileStmt>(S);
+        assert(Next.In == ResumeEntry::Body::Loop);
+        Result = resumePath(CP, Level, F, Depth + 1, W->body());
+        if (Result == Flow::Break)
+          Result = Flow::Normal;
+        else if (Result == Flow::Normal || Result == Flow::Continue)
+          Result = execWhileLoop(S, W, F);
+        break;
+      }
+      default:
+        assert(false && "non-compound statement on a continuation path");
+        Result = Flow::Halt;
+        break;
+      }
+    }
+
+    if (Result != Flow::Normal)
+      return Result;
+    for (size_t I = E.Index + 1; I < Body.size(); ++I) {
+      Result = execStmt(Body[I], F);
+      if (Result != Flow::Normal)
+        return Result;
+    }
+    return Flow::Normal;
+  }
+
+  /// Finishes a suspended clean call: rebuilds the callee frame, resumes
+  /// it, then replicates evalCall's return sequence and the completion of
+  /// the call-rooted statement (mirroring the execStmt cases).
+  Flow resumeCallSite(const Checkpoint &CP, size_t Level, Stmt *S, Frame &F) {
+    const TraceIdx Rec = CP.Frames[Level].PendingRec;
+    const CallExpr *Call = rootCall(S);
+    assert(Call && "pending call on a non-call-rooted statement");
+
+    Frame Inner = CP.Frames[Level + 1].State;
+    resumeFrame(CP, Level + 1, Inner);
+    if (Halted) {
+      Ctx.recycleFrame(std::move(Inner));
+      return Flow::Halt;
+    }
+
+    if (Rec != InvalidId)
+      Trace.Steps[Rec].Uses.push_back({MemLoc::retVal(Inner.Serial),
+                                       Inner.RetValDef, Call->id(),
+                                       /*Var=*/InvalidId, Inner.RetVal});
+    int64_t Value = Inner.RetVal;
+    Ctx.recycleFrame(std::move(Inner));
+
+    switch (S->kind()) {
+    case Stmt::Kind::CallStmt:
+      return Flow::Normal;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      Value = maybePerturb(S->id(), Rec, Value);
+      if (Rec != InvalidId)
+        Trace.Steps[Rec].Value = Value;
+      const VarInfo &Info = Prog.variable(A->var());
+      if (Info.isGlobal())
+        store(MemLoc::global(Info.Slot), A->var(), Value, Rec);
+      else
+        storeFrame(F, Info.Slot, A->var(), Value, Rec);
+      return Flow::Normal;
+    }
+    case Stmt::Kind::VarDecl: {
+      const auto *Decl = cast<VarDeclStmt>(S);
+      Value = maybePerturb(S->id(), Rec, Value);
+      if (Rec != InvalidId)
+        Trace.Steps[Rec].Value = Value;
+      const VarInfo &Info = Prog.variable(Decl->var());
+      if (Info.isGlobal())
+        store(MemLoc::global(Info.Slot), Decl->var(), Value, Rec);
+      else
+        storeFrame(F, Info.Slot, Decl->var(), Value, Rec);
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Return: {
+      Value = maybePerturb(S->id(), Rec, Value);
+      F.RetVal = Value;
+      F.RetValDef = Rec;
+      if (Rec != InvalidId) {
+        Trace.Steps[Rec].Value = Value;
+        Trace.Steps[Rec].Defs.push_back(
+            {MemLoc::retVal(F.Serial), /*Var=*/InvalidId, Value});
+      }
+      return Flow::Return;
+    }
+    default:
+      assert(false && "pending call on a non-call-rooted statement");
+      return Flow::Halt;
+    }
   }
 };
 
@@ -540,11 +862,31 @@ Interpreter::Interpreter(const Program &Prog,
   if (Stats) {
     CRuns = &Stats->counter("interp.runs");
     CSwitchedRuns = &Stats->counter("interp.switched_runs");
+    CResumedRuns = &Stats->counter("interp.resumed_runs");
+    CSplicedSteps = &Stats->counter("interp.spliced_steps");
     CSteps = &Stats->counter("interp.steps");
     COutputs = &Stats->counter("interp.outputs");
     CAborts = &Stats->counter("interp.aborted_runs");
     TRunTime = &Stats->timer("interp.run_time");
   }
+}
+
+ExecutionTrace Interpreter::record(ExecutionTrace T, bool Switched,
+                                   bool Resumed, TraceIdx Spliced) const {
+  if (CRuns) {
+    CRuns->add();
+    if (Switched)
+      CSwitchedRuns->add();
+    if (Resumed) {
+      CResumedRuns->add();
+      CSplicedSteps->add(Spliced);
+    }
+    CSteps->add(T.size()); // Traced instances; plain runs record nothing.
+    COutputs->add(T.Outputs.size());
+    if (T.Exit != ExitReason::Finished)
+      CAborts->add();
+  }
+  return T;
 }
 
 ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
@@ -557,24 +899,37 @@ ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
                                 const Options &Opts, ExecContext &Ctx) const {
   support::ScopedTimer Timed(TRunTime);
   Engine E(Prog, Analysis, Input, Opts, Ctx);
-  ExecutionTrace T = E.run();
-  if (CRuns) {
-    CRuns->add();
-    if (Opts.Switch)
-      CSwitchedRuns->add();
-    CSteps->add(T.size()); // Traced instances; plain runs record nothing.
-    COutputs->add(T.Outputs.size());
-    if (T.Exit != ExitReason::Finished)
-      CAborts->add();
-  }
-  return T;
+  return record(E.run(), Opts.Switch.has_value(), /*Resumed=*/false, 0);
+}
+
+ExecutionTrace Interpreter::runFrom(const Checkpoint &CP,
+                                    const ExecutionTrace &SpliceFrom,
+                                    const std::vector<int64_t> &Input,
+                                    const Options &Opts,
+                                    ExecContext &Ctx) const {
+  support::ScopedTimer Timed(TRunTime);
+  Options Local = Opts;
+  Local.Checkpoints = nullptr; // Checkpoints are collected by full runs only.
+  Engine E(Prog, Analysis, Input, Local, Ctx);
+  return record(E.resume(CP, SpliceFrom), Local.Switch.has_value(),
+                /*Resumed=*/true, CP.Index);
+}
+
+ExecutionTrace Interpreter::runFrom(const Checkpoint &CP,
+                                    const ExecutionTrace &SpliceFrom,
+                                    const std::vector<int64_t> &Input,
+                                    const Options &Opts) const {
+  ExecContext Ctx;
+  return runFrom(CP, SpliceFrom, Input, Opts, Ctx);
 }
 
 ExecutionTrace Interpreter::runSwitched(const std::vector<int64_t> &Input,
-                                        SwitchSpec Spec,
-                                        uint64_t MaxSteps) const {
+                                        SwitchSpec Spec, uint64_t MaxSteps,
+                                        ExecContext *Ctx) const {
   Options Opts;
   Opts.MaxSteps = MaxSteps;
   Opts.Switch = Spec;
+  if (Ctx)
+    return run(Input, Opts, *Ctx);
   return run(Input, Opts);
 }

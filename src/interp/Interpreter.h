@@ -22,6 +22,7 @@
 #define EOE_INTERP_INTERPRETER_H
 
 #include "analysis/StaticAnalysis.h"
+#include "interp/Checkpoint.h"
 #include "interp/ExecContext.h"
 #include "interp/Trace.h"
 #include "lang/AST.h"
@@ -53,6 +54,12 @@ public:
     /// baseline of the paper's Table 4 -- execution without the
     /// dependence-graph instrumentation.
     bool Trace = true;
+    /// When set, this (tracing) run snapshots interpreter state into
+    /// Checkpoints->Store at each of Checkpoints->Sites (ascending trace
+    /// indices of predicate instances), skipping sites reached through a
+    /// non-statement-root call (see Checkpoint.h). The plan's Collected /
+    /// SkippedDirty out-params are written back. Ignored by runFrom.
+    CheckpointPlan *Checkpoints = nullptr;
   };
 
   /// \p Analysis must have been built for \p Prog. When \p Stats is
@@ -80,9 +87,32 @@ public:
     return run(Input, Options());
   }
 
-  /// Convenience: runs with \p Spec switched.
+  /// Convenience: runs with \p Spec switched. When \p Ctx is given the
+  /// run executes on its recycled buffers (callers looping over switched
+  /// runs should reuse one context instead of paying a fresh shadow-state
+  /// allocation per call).
   ExecutionTrace runSwitched(const std::vector<int64_t> &Input,
-                             SwitchSpec Spec, uint64_t MaxSteps) const;
+                             SwitchSpec Spec, uint64_t MaxSteps,
+                             ExecContext *Ctx = nullptr) const;
+
+  /// Resumes execution from \p CP, splicing Steps[0, CP.Index) and the
+  /// matching output prefix of \p SpliceFrom (the trace of the run that
+  /// captured \p CP) instead of re-executing them. \p Input must be the
+  /// input of the capturing run. The result is byte-identical to
+  /// run(Input, Opts) for any Opts whose switch/perturbation targets lie
+  /// at or after CP.Index and whose MaxSteps is no lower than the
+  /// capturing run's budget at capture time. Opts.Trace must be true;
+  /// Opts.Checkpoints is ignored.
+  ExecutionTrace runFrom(const Checkpoint &CP,
+                         const ExecutionTrace &SpliceFrom,
+                         const std::vector<int64_t> &Input,
+                         const Options &Opts, ExecContext &Ctx) const;
+
+  /// Same, on a private context.
+  ExecutionTrace runFrom(const Checkpoint &CP,
+                         const ExecutionTrace &SpliceFrom,
+                         const std::vector<int64_t> &Input,
+                         const Options &Opts) const;
 
 private:
   const lang::Program &Prog;
@@ -92,10 +122,15 @@ private:
   /// interpreter runs unobserved.
   support::StatCounter *CRuns = nullptr;
   support::StatCounter *CSwitchedRuns = nullptr;
+  support::StatCounter *CResumedRuns = nullptr;
+  support::StatCounter *CSplicedSteps = nullptr;
   support::StatCounter *CSteps = nullptr;
   support::StatCounter *COutputs = nullptr;
   support::StatCounter *CAborts = nullptr;
   support::StatTimer *TRunTime = nullptr;
+
+  ExecutionTrace record(ExecutionTrace T, bool Switched, bool Resumed,
+                        TraceIdx Spliced) const;
 };
 
 } // namespace interp

@@ -72,6 +72,8 @@ struct UseRecord {
   VarId Var = InvalidId;
   /// The value observed by the read.
   int64_t Value = 0;
+
+  bool operator==(const UseRecord &O) const = default;
 };
 
 /// One memory write performed by a statement instance.
@@ -80,6 +82,8 @@ struct DefRecord {
   /// Location class written (InvalidId for return-value cells).
   VarId Var = InvalidId;
   int64_t Value = 0;
+
+  bool operator==(const DefRecord &O) const = default;
 };
 
 /// One executed statement instance.
@@ -103,6 +107,10 @@ struct StepRecord {
 
   bool isPredicateInstance() const { return BranchTaken >= 0; }
   bool branch() const { return BranchTaken == 1; }
+
+  /// Byte-for-byte equality, used by the checkpoint-equivalence property
+  /// tests (a resumed trace must equal a full replay).
+  bool operator==(const StepRecord &O) const = default;
 };
 
 /// One value printed by a print statement.
@@ -115,6 +123,8 @@ struct OutputEvent {
   /// switched execution).
   ExprId ArgExpr = InvalidId;
   int64_t Value = 0;
+
+  bool operator==(const OutputEvent &O) const = default;
 };
 
 /// How an execution ended.

@@ -51,6 +51,8 @@ FaultRunner::makeSession(const Options &Opts) const {
   C.Locate.OnePerPredicate = Opts.OnePerPredicate;
   C.Locate.UsePathCheck = Opts.UsePathCheck;
   C.Threads = Opts.Threads;
+  C.Locate.Checkpoints = Opts.Checkpoints;
+  C.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
   C.Stats = Opts.Stats;
   C.Tracer = Opts.Tracer;
   return std::make_unique<DebugSession>(*Faulty, Fault.FailingInput, Expected,

@@ -86,6 +86,11 @@ public:
     /// Verification engine threads (DebugSession::Config::Threads):
     /// 0 = hardware default, 1 = serial reference engine.
     unsigned Threads = 0;
+    /// Checkpoint stride for switched-run re-execution
+    /// (LocateConfig::Checkpoints): 1 = every candidate, 0 = off.
+    unsigned Checkpoints = 1;
+    /// LRU byte budget for retained checkpoints.
+    size_t CheckpointMemBytes = 256ull << 20;
     /// Observability sinks forwarded to every session the protocol
     /// creates (both phases), so benches can print per-phase cost next
     /// to the paper tables. Null = off.

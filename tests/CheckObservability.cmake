@@ -38,7 +38,8 @@ if(NOT LastLine MATCHES "^\\{\"schema\":\"eoe-stats-v1\"")
 endif()
 foreach(Key
     "\"interp\"" "\"align\"" "\"verify\"" "\"locate\"" "\"slicing\""
-    "\"verifications\"" "\"reexecutions\"" "\"counters\"" "\"timers\""
+    "\"verifications\"" "\"reexecutions\"" "\"ckpt.hits\"" "\"ckpt.misses\""
+    "\"ckpt.restore_time\"" "\"counters\"" "\"timers\""
     "\"histograms\"")
   if(NOT LastLine MATCHES "${Key}")
     message(FATAL_ERROR "stats JSON lacks ${Key}:\n${LastLine}")

@@ -189,7 +189,14 @@ std::optional<PreparedFault> prepareFault(uint64_t Seed) {
 // reference loop and the batched engine.
 const char *const InvariantCounterKeys[] = {
     "interp.runs", "interp.switched_runs", "interp.steps", "interp.outputs",
-    "interp.aborted_runs", "align.aligners", "align.queries", "align.matched",
+    "interp.aborted_runs",
+    // Checkpointing is deterministic by construction: collection runs
+    // single-threaded at the same pipeline point on both engines, and
+    // nearest-snapshot lookups happen once per distinct predicate.
+    "interp.resumed_runs", "interp.spliced_steps", "verify.ckpt.hits",
+    "verify.ckpt.misses", "verify.ckpt.stored", "verify.ckpt.bytes",
+    "verify.ckpt.evictions", "verify.ckpt.skipped_dirty",
+    "align.aligners", "align.queries", "align.matched",
     "align.prefix_hits", "align.regions_walked",
     "align.no_match.region_ended_early", "align.no_match.branch_diverged",
     "align.no_match.static_mismatch", "align.no_match.switch_not_applied",

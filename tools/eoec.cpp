@@ -50,6 +50,8 @@ struct CliOptions {
   std::vector<int64_t> Expected;
   uint64_t MaxSteps = 5'000'000;
   unsigned Threads = 0;
+  unsigned Checkpoints = 1;
+  size_t CheckpointMemBytes = 256ull << 20;
   uint32_t Line = 0;
   uint32_t Instance = 1;
   uint32_t RootLine = 0;
@@ -89,6 +91,13 @@ void usage() {
       "  --max-steps N         step budget (default 5000000)\n"
       "  --threads N           verification worker threads (locate);\n"
       "                        0 = all hardware threads, 1 = serial\n"
+      "  --checkpoints=N|off   checkpoint stride for switched runs\n"
+      "                        (locate): snapshot every Nth candidate\n"
+      "                        predicate instance and resume instead of\n"
+      "                        replaying the prefix; off = full replay\n"
+      "                        (default 1)\n"
+      "  --checkpoint-mem MB   checkpoint LRU memory budget in MiB\n"
+      "                        (default 256)\n"
       "  --no-trace            run without dependence tracing (run)\n"
       "  --stats[=json]        per-phase pipeline statistics: a table on\n"
       "                        stderr, or =json for schema eoe-stats-v1\n"
@@ -156,6 +165,30 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg.rfind("--checkpoints=", 0) == 0) {
+      std::string V = Arg.substr(std::strlen("--checkpoints="));
+      Opts.Checkpoints =
+          V == "off" ? 0u
+                     : static_cast<unsigned>(std::strtoul(V.c_str(), nullptr,
+                                                          10));
+    } else if (Arg == "--checkpoints") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Checkpoints = std::strcmp(V, "off") == 0
+                             ? 0u
+                             : static_cast<unsigned>(
+                                   std::strtoul(V, nullptr, 10));
+    } else if (Arg.rfind("--checkpoint-mem=", 0) == 0) {
+      Opts.CheckpointMemBytes =
+          std::strtoull(Arg.c_str() + std::strlen("--checkpoint-mem="),
+                        nullptr, 10)
+          << 20;
+    } else if (Arg == "--checkpoint-mem") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CheckpointMemBytes = std::strtoull(V, nullptr, 10) << 20;
     } else if (Arg == "--save") {
       const char *V = Next();
       if (!V)
@@ -378,6 +411,8 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   core::DebugSession::Config Config;
   Config.MaxSteps = Opts.MaxSteps;
   Config.Threads = Opts.Threads;
+  Config.Locate.Checkpoints = Opts.Checkpoints;
+  Config.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
   Config.Stats = Opts.StatsReg;
   Config.Tracer = Opts.Tracer;
   core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
