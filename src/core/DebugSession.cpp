@@ -56,6 +56,11 @@ DebugSession::DebugSession(const lang::Program &Prog,
   VC.Threads = C.Threads;
   VC.CheckpointStride = C.Locate.Checkpoints;
   VC.CheckpointMemBytes = C.Locate.CheckpointMemBytes;
+  VC.CheckpointDelta = C.Locate.CheckpointDelta;
+  if (C.Locate.CheckpointShare && C.SharedCheckpoints) {
+    VC.CheckpointShare = C.SharedCheckpoints;
+    VC.CheckpointShareProgram = &Prog;
+  }
   VC.Stats = C.Stats;
   VC.Tracer = C.Tracer;
   Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,

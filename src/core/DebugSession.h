@@ -60,6 +60,13 @@ public:
     /// and locate). Null = off; see docs/observability.md.
     support::StatsRegistry *Stats = nullptr;
     support::EventTracer *Tracer = nullptr;
+    /// Cross-session checkpoint sharing: when set (and
+    /// Locate.CheckpointShare is on), input-independent snapshots are
+    /// promoted into this store and later sessions over the same program
+    /// seed their checkpoint stores from it. The store must outlive every
+    /// session using it; the owner is whoever runs multiple sessions over
+    /// one program (FaultRunner, a bench, the CLI).
+    interp::SharedCheckpointStore *SharedCheckpoints = nullptr;
     /// Algorithm 2 tunables.
     LocateConfig Locate;
   };

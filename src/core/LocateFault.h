@@ -63,15 +63,24 @@ struct LocateConfig {
   /// determinism tests compare against.
   unsigned Threads = 0;
   /// Checkpointed switched-run re-execution (docs/checkpointing.md):
-  /// snapshot interpreter state at every Nth candidate predicate
-  /// instance during one instrumented pass, then resume switched runs
-  /// from the nearest dominating snapshot instead of replaying the
-  /// whole prefix. 1 = checkpoint every candidate (default), larger
-  /// strides trade memory for replay distance, 0 = off (the reference
-  /// full-replay behavior). Bit-identical results either way.
-  unsigned Checkpoints = 1;
+  /// snapshot interpreter state at candidate predicate instances during
+  /// one instrumented pass, then resume switched runs from the nearest
+  /// dominating snapshot instead of replaying the whole prefix.
+  /// interp::CheckpointStrideAuto (0, the default) tunes the stride from
+  /// trace length, candidate density, and CheckpointMemBytes; N >= 1
+  /// checkpoints every Nth candidate; interp::CheckpointsOff is the
+  /// reference full-replay behavior. Bit-identical results in every
+  /// mode.
+  unsigned Checkpoints = interp::CheckpointStrideAuto;
   /// LRU byte budget for retained checkpoints.
-  size_t CheckpointMemBytes = 256ull << 20;
+  size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
+  /// Delta-compress consecutive snapshots (encoded-byte LRU accounting;
+  /// see CheckpointStore).
+  bool CheckpointDelta = true;
+  /// Promote input-independent snapshots into a cross-session store and
+  /// seed from it (wired by DebugSession when its config carries a
+  /// SharedCheckpointStore).
+  bool CheckpointShare = true;
 };
 
 /// The paper's Table 3 row for one debugging session.

@@ -53,6 +53,12 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
   CCkptBytes = &Reg->counter("verify.ckpt.bytes");
   CCkptEvictions = &Reg->counter("verify.ckpt.evictions");
   CCkptSkippedDirty = &Reg->counter("verify.ckpt.skipped_dirty");
+  CCkptDeltas = &Reg->counter("verify.ckpt.delta_encoded");
+  CCkptKeyframes = &Reg->counter("verify.ckpt.keyframes");
+  CCkptEncodedBytes = &Reg->counter("verify.ckpt.encoded_bytes");
+  CCkptRawBytes = &Reg->counter("verify.ckpt.raw_bytes");
+  CCkptSharedHits = &Reg->counter("verify.ckpt.shared_hits");
+  CCkptAutoStride = &Reg->counter("verify.ckpt.auto_stride");
   TReexec = &Reg->timer("verify.reexec_time");
   TCkptRestore = &Reg->timer("verify.ckpt.restore_time");
   TCkptCollect = &Reg->timer("verify.ckpt.collect_time");
@@ -61,8 +67,13 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
   TLatNot = &Reg->timer("verify.latency.not_implicit");
   HReexecSteps = &Reg->histogram("verify.reexec_steps");
   Arena.bindStats(this->C.Stats);
-  if (this->C.CheckpointStride > 0)
-    Ckpts = std::make_unique<CheckpointStore>(this->C.CheckpointMemBytes);
+  if (this->C.CheckpointStride != CheckpointsOff) {
+    CheckpointStore::Options SO;
+    SO.BudgetBytes = this->C.CheckpointMemBytes;
+    SO.DeltaEncode = this->C.CheckpointDelta;
+    SO.KeyframeInterval = this->C.CheckpointKeyframeEvery;
+    Ckpts = std::make_unique<CheckpointStore>(SO);
+  }
 }
 
 ImplicitDepVerifier::~ImplicitDepVerifier() = default;
@@ -107,10 +118,14 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
   std::shared_ptr<const Checkpoint> CP;
   if (Ckpts) {
     CP = Ckpts->nearest(PredInst);
-    if (CP)
+    if (CP) {
       CCkptHits->add();
-    else
+      std::lock_guard<std::mutex> Lock(SharedIdxMutex);
+      if (SharedIdx.count(CP->Index))
+        CCkptSharedHits->add();
+    } else {
       CCkptMisses->add();
+    }
   }
   {
     support::EventTracer::Span Reexec(C.Tracer, "reexec", "interp");
@@ -147,9 +162,42 @@ void ImplicitDepVerifier::maybeCollectCheckpoints(
     std::vector<TraceIdx> Sorted(Candidates);
     std::sort(Sorted.begin(), Sorted.end());
     Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
-    Plan.Sites.reserve(Sorted.size() / C.CheckpointStride + 1);
-    for (size_t I = 0; I < Sorted.size(); I += C.CheckpointStride)
-      Plan.Sites.push_back(Sorted[I]);
+
+    // Cross-input sharing: seed the session store with the snapshots
+    // earlier sessions promoted for this (program, budget) -- they cover
+    // the common pre-input prefix -- and arrange for this session's own
+    // input-independent captures to be promoted in turn. Seeded indices
+    // are remembered so resumes from them can be attributed
+    // (verify.ckpt.shared_hits).
+    if (C.CheckpointShare && C.CheckpointShareProgram) {
+      Plan.Share = C.CheckpointShare;
+      Plan.ShareHash =
+          SharedCheckpointStore::hashProgram(*C.CheckpointShareProgram);
+      Plan.ShareProgram = C.CheckpointShareProgram;
+      Plan.ShareMaxSteps = C.MaxSteps;
+      std::lock_guard<std::mutex> Lock(SharedIdxMutex);
+      for (const std::shared_ptr<const Checkpoint> &CP :
+           C.CheckpointShare->snapshotsFor(Plan.ShareHash, Plan.ShareProgram,
+                                           Plan.ShareMaxSteps)) {
+        if (CP->Index > E.size())
+          continue; // Defensive: resume() splices E's prefix up to Index.
+        Ckpts->insert(CP);
+        SharedIdx.insert(CP->Index);
+      }
+    }
+
+    if (C.CheckpointStride == CheckpointStrideAuto) {
+      // Hand the engine every candidate plus the tuning inputs; it
+      // estimates the per-snapshot cost from its first capture and thins
+      // the sites itself (see CheckpointPlan::AutoBudgetBytes).
+      Plan.Sites = Sorted;
+      Plan.AutoBudgetBytes = C.CheckpointMemBytes;
+      Plan.TraceLength = E.size();
+    } else {
+      Plan.Sites.reserve(Sorted.size() / C.CheckpointStride + 1);
+      for (size_t I = 0; I < Sorted.size(); I += C.CheckpointStride)
+        Plan.Sites.push_back(Sorted[I]);
+    }
 
     // Replay the unswitched input once with collection instrumentation.
     // The switched-run budget bounds the pass, so no snapshot can exist
@@ -169,6 +217,12 @@ void ImplicitDepVerifier::maybeCollectCheckpoints(
     CCkptBytes->add(Ckpts->bytes());
     CCkptEvictions->add(Ckpts->evictions());
     CCkptSkippedDirty->add(Plan.SkippedDirty);
+    CCkptDeltas->add(Ckpts->deltaCount());
+    CCkptKeyframes->add(Ckpts->keyframes());
+    CCkptEncodedBytes->add(Ckpts->encodedBytes());
+    CCkptRawBytes->add(Ckpts->rawBytes());
+    if (Plan.AutoStride)
+      CCkptAutoStride->add(Plan.AutoStride);
   });
 }
 

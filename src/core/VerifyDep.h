@@ -52,6 +52,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 namespace eoe {
 namespace core {
@@ -84,19 +85,36 @@ public:
     /// which is the serial reference path. The pool is created lazily,
     /// so plain verify()-only users never spawn threads.
     unsigned Threads = 0;
-    /// Checkpointed re-execution (docs/checkpointing.md). When non-zero,
+    /// Checkpointed re-execution (docs/checkpointing.md). When enabled,
     /// the first non-empty candidate set passed to
     /// maybeCollectCheckpoints triggers one instrumented pass over the
     /// unswitched input that snapshots full interpreter state at every
     /// CheckpointStride-th candidate predicate instance; switched runs
     /// then resume from the nearest dominating snapshot, splicing the
     /// recorded trace prefix instead of replaying it. Results are
-    /// byte-identical to full replay. 0 disables checkpointing entirely
-    /// (the reference behavior).
-    unsigned CheckpointStride = 0;
+    /// byte-identical to full replay.
+    /// interp::CheckpointsOff disables checkpointing entirely (the
+    /// reference behavior, and the default: plain verifier users opt in);
+    /// interp::CheckpointStrideAuto (0) autotunes the stride from trace
+    /// length, candidate density, and CheckpointMemBytes.
+    unsigned CheckpointStride = interp::CheckpointsOff;
     /// LRU byte budget for retained checkpoints; overflowing snapshots
     /// are evicted and affected switched runs fall back to full replay.
-    size_t CheckpointMemBytes = 256ull << 20;
+    size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
+    /// Delta-compress consecutive snapshots against each other, keeping a
+    /// full keyframe every CheckpointKeyframeEvery entries (the budget is
+    /// then charged with encoded bytes, multiplying effective capacity).
+    bool CheckpointDelta = true;
+    unsigned CheckpointKeyframeEvery = interp::DefaultKeyframeInterval;
+    /// Cross-input checkpoint sharing: when both are set, the collection
+    /// pass promotes input-independent snapshots into this store, and the
+    /// session seeds its own store from it before collecting -- so the
+    /// profiler's and the confidence analysis's many-input sessions over
+    /// the same program share the common pre-input prefix. The store must
+    /// outlive the verifier; CheckpointShareProgram must be the very
+    /// Program object this verifier's interpreter executes.
+    interp::SharedCheckpointStore *CheckpointShare = nullptr;
+    const lang::Program *CheckpointShareProgram = nullptr;
     /// External observability sinks. When Stats is null the verifier
     /// records into a private registry, so the distinct-key counters (and
     /// their accessors) work identically either way; when Tracer is null
@@ -219,6 +237,12 @@ private:
   support::StatCounter *CCkptBytes = nullptr;
   support::StatCounter *CCkptEvictions = nullptr;
   support::StatCounter *CCkptSkippedDirty = nullptr;
+  support::StatCounter *CCkptDeltas = nullptr;
+  support::StatCounter *CCkptKeyframes = nullptr;
+  support::StatCounter *CCkptEncodedBytes = nullptr;
+  support::StatCounter *CCkptRawBytes = nullptr;
+  support::StatCounter *CCkptSharedHits = nullptr;
+  support::StatCounter *CCkptAutoStride = nullptr;
   support::StatTimer *TReexec = nullptr;
   support::StatTimer *TCkptRestore = nullptr;
   support::StatTimer *TCkptCollect = nullptr;
@@ -231,10 +255,14 @@ private:
   interp::ExecContextPool Arena;
 
   /// Snapshot store for checkpointed re-execution; null when
-  /// Config::CheckpointStride is 0. Populated once by
-  /// maybeCollectCheckpoints (guarded by CkptOnce).
+  /// Config::CheckpointStride is interp::CheckpointsOff. Populated once
+  /// by maybeCollectCheckpoints (guarded by CkptOnce).
   std::unique_ptr<interp::CheckpointStore> Ckpts;
   std::once_flag CkptOnce;
+  /// Trace indices of snapshots seeded from Config::CheckpointShare;
+  /// switched runs resuming from one count as verify.ckpt.shared_hits.
+  std::mutex SharedIdxMutex;
+  std::set<TraceIdx> SharedIdx;
 
   /// The original trace's region tree, built once and shared by every
   /// aligner (it is identical across all switched runs).

@@ -42,6 +42,11 @@ int64_t wrapNeg(int64_t A) {
 /// Statement-level control flow outcome.
 enum class Flow { Normal, Break, Continue, Return, Halt };
 
+/// Autotuned checkpoint strides never place snapshots closer together
+/// than this many executed steps on average: below that the splice
+/// savings cannot amortize even a delta-encoded snapshot's cost.
+constexpr size_t MinSpacingSteps = 64;
+
 /// One activation record: interp::ExecFrame, pooled by the run's
 /// ExecContext so recursive calls stop malloc-thrashing across the
 /// verifier's many re-executions.
@@ -113,6 +118,13 @@ public:
     InputCursor = CP.InputCursor;
     StepCount = CP.StepCount;
     FrameCounter = CP.FrameCounter;
+    // Input-independence watermark: the spliced prefix read input iff the
+    // capture was not input-independent; carry the capturing run's first-
+    // read index over in that case so the resumed trace matches a full
+    // replay byte for byte.
+    InputSeen = !CP.InputIndependent;
+    if (From.FirstInputStep != InvalidId && From.FirstInputStep < CP.Index)
+      Trace.FirstInputStep = From.FirstInputStep;
 
     Frame Main = CP.Frames.front().State;
     Flow F = resumeFrame(CP, /*Level=*/0, Main);
@@ -135,6 +147,12 @@ private:
   std::vector<TraceIdx> &GlobalLastDef;
   std::vector<uint32_t> &InstCount;
   size_t InputCursor = 0;
+  /// True once any input() expression has been evaluated (even one that
+  /// read past the end of the input vector): everything before that
+  /// instant is a function of the program alone. InputCursor == 0 is not
+  /// equivalent -- an exhausted read returns -1 without moving the cursor
+  /// yet still makes the execution input-dependent.
+  bool InputSeen = false;
   uint64_t FrameCounter = 0;
   uint64_t StepCount = 0;
   bool Halted = false;
@@ -158,6 +176,11 @@ private:
 
   const bool Collecting;
   size_t NextSite = 0;
+  /// Stride autotuning (CheckpointPlan::AutoBudgetBytes): chosen after
+  /// the first successful capture, then applied by skipping
+  /// AutoStride - 1 clean sites between snapshots.
+  unsigned AutoStride = 0;
+  unsigned AutoCountdown = 0;
   /// Number of suspended calls that are not statement-root calls; while
   /// non-zero, a capture cannot describe the continuation and planned
   /// sites are skipped.
@@ -188,8 +211,18 @@ private:
       return;
     ++NextSite;
     if (DirtyCalls > 0) {
+      // A dirty attempt does not consume the autotuner's countdown: the
+      // thinning is over *capturable* sites, so the chosen density holds
+      // regardless of where dirty calls fall.
       ++Plan.SkippedDirty;
       return;
+    }
+    if (Plan.AutoBudgetBytes && AutoStride != 0) {
+      if (AutoCountdown > 0) {
+        --AutoCountdown; // Thinned by the autotuner; not a dirty skip.
+        return;
+      }
+      AutoCountdown = AutoStride - 1;
     }
     assert(S->isPredicate() && "checkpoint sites must be predicate instances");
     (void)S;
@@ -199,6 +232,7 @@ private:
     CP->StepCount = StepCount;
     CP->FrameCounter = FrameCounter;
     CP->OutputCount = Trace.Outputs.size();
+    CP->InputIndependent = !InputSeen;
     CP->GlobalMem = GlobalMem;
     CP->GlobalLastDef = GlobalLastDef;
     CP->InstCount = InstCount;
@@ -215,6 +249,31 @@ private:
       }
       CP->Frames.push_back(std::move(CF));
     }
+    if (Plan.AutoBudgetBytes && AutoStride == 0) {
+      // First successful capture: size the stride so that roughly
+      // 2x AutoBudgetBytes of raw snapshots get attempted (the LRU and
+      // the delta encoder keep the resident set under the real budget
+      // while switched runs lean on nearest-dominating resume), capped
+      // below by a minimum average step spacing between snapshots.
+      // Deterministic: depends only on (program, input, plan).
+      const size_t PerSnap = std::max<size_t>(1, CP->bytes());
+      const size_t Target =
+          std::max<size_t>(1, 2 * Plan.AutoBudgetBytes / PerSnap);
+      const size_t NumSites = std::max<size_t>(1, Plan.Sites.size());
+      const size_t ByBudget = (NumSites + Target - 1) / Target;
+      const size_t AvgSpacing =
+          std::max<size_t>(1, Plan.TraceLength / NumSites);
+      const size_t BySpacing =
+          (MinSpacingSteps + AvgSpacing - 1) / AvgSpacing;
+      AutoStride = static_cast<unsigned>(
+          std::max<size_t>(1, std::max(ByBudget, BySpacing)));
+      Plan.AutoStride = AutoStride;
+      AutoCountdown = AutoStride - 1;
+    }
+    if (Plan.Share && CP->InputIndependent &&
+        Plan.Share->promote(CP, Plan.ShareHash, Plan.ShareProgram,
+                            Plan.ShareMaxSteps))
+      ++Plan.Promoted;
     Plan.Store->insert(std::move(CP));
     ++Plan.Collected;
   }
@@ -381,6 +440,11 @@ private:
                   Rec);
     }
     case Expr::Kind::Input: {
+      if (!InputSeen) {
+        InputSeen = true;
+        if (Rec != InvalidId)
+          Trace.FirstInputStep = Rec;
+      }
       if (InputCursor < Input.size())
         return Input[InputCursor++];
       return -1;

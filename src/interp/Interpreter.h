@@ -98,7 +98,12 @@ public:
   /// Resumes execution from \p CP, splicing Steps[0, CP.Index) and the
   /// matching output prefix of \p SpliceFrom (the trace of the run that
   /// captured \p CP) instead of re-executing them. \p Input must be the
-  /// input of the capturing run. The result is byte-identical to
+  /// input of the capturing run -- except when CP.InputIndependent, in
+  /// which case the prefix read no input and \p Input may be *any* input
+  /// vector, provided \p SpliceFrom is an unswitched trace of the same
+  /// program (its prefix up to CP.Index is then input-invariant too);
+  /// this is what makes cross-input checkpoint sharing sound (see
+  /// SharedCheckpointStore). The result is byte-identical to
   /// run(Input, Opts) for any Opts whose switch/perturbation targets lie
   /// at or after CP.Index and whose MaxSteps is no lower than the
   /// capturing run's budget at capture time. Opts.Trace must be true;

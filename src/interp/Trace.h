@@ -149,6 +149,12 @@ struct ExecutionTrace {
   /// instance. Everything before this index is byte-identical to the
   /// unaltered run on the same input -- the invariant the aligner uses.
   TraceIdx SwitchedStep = InvalidId;
+  /// The first step during which an input() expression was evaluated, or
+  /// InvalidId if the run never read input. Every step before this index
+  /// -- and any checkpoint captured there -- is a function of the program
+  /// alone, valid for any input (the cross-input sharing watermark; see
+  /// interp/Checkpoint.h).
+  TraceIdx FirstInputStep = InvalidId;
 
   size_t size() const { return Steps.size(); }
   const StepRecord &step(TraceIdx I) const { return Steps.at(I); }

@@ -15,7 +15,11 @@ using namespace eoe::interp;
 namespace {
 
 constexpr const char *Magic = "EOETRACE";
-constexpr int Version = 1;
+// Version 2 added the `firstinput` record (the input-independence
+// watermark). Version-1 documents are still read: they predate the field,
+// which then keeps its InvalidId default.
+constexpr int Version = 2;
+constexpr int MinVersion = 1;
 
 const char *exitName(ExitReason Reason) {
   switch (Reason) {
@@ -58,6 +62,12 @@ std::string eoe::interp::serializeTrace(const ExecutionTrace &Trace) {
     OS << '-';
   else
     OS << Trace.SwitchedStep;
+  OS << '\n';
+  OS << "firstinput ";
+  if (Trace.FirstInputStep == InvalidId)
+    OS << '-';
+  else
+    OS << Trace.FirstInputStep;
   OS << '\n';
 
   OS << "steps " << Trace.Steps.size() << '\n';
@@ -130,7 +140,7 @@ eoe::interp::deserializeTrace(const std::string &Text, std::string *Error) {
     fail(Error, "bad header");
     return std::nullopt;
   }
-  if (Ver != Version) {
+  if (Ver < MinVersion || Ver > Version) {
     fail(Error, "unsupported version " + std::to_string(Ver));
     return std::nullopt;
   }
@@ -146,6 +156,13 @@ eoe::interp::deserializeTrace(const std::string &Text, std::string *Error) {
       !readIdx(IS, Trace.SwitchedStep)) {
     fail(Error, "bad switched record");
     return std::nullopt;
+  }
+  if (Ver >= 2) {
+    if (!(IS >> Word) || Word != "firstinput" ||
+        !readIdx(IS, Trace.FirstInputStep)) {
+      fail(Error, "bad firstinput record");
+      return std::nullopt;
+    }
   }
 
   size_t NumSteps = 0;
@@ -209,6 +226,12 @@ eoe::interp::deserializeTrace(const std::string &Text, std::string *Error) {
       return std::nullopt;
     }
     Trace.Outputs.push_back(E);
+  }
+
+  if (Trace.FirstInputStep != InvalidId &&
+      Trace.FirstInputStep >= Trace.Steps.size()) {
+    fail(Error, "firstinput dangling step index");
+    return std::nullopt;
   }
 
   // Use records may reference defining instances *later* in the trace

@@ -44,7 +44,8 @@ FaultRunner::FaultRunner(const FaultInfo &Fault) : Fault(Fault) {
 }
 
 std::unique_ptr<DebugSession>
-FaultRunner::makeSession(const Options &Opts) const {
+FaultRunner::makeSession(const Options &Opts,
+                         interp::SharedCheckpointStore *Shared) const {
   DebugSession::Config C;
   C.PDBackend = Opts.Backend;
   C.Locate.VerifyFanout = Opts.VerifyFanout;
@@ -53,6 +54,9 @@ FaultRunner::makeSession(const Options &Opts) const {
   C.Threads = Opts.Threads;
   C.Locate.Checkpoints = Opts.Checkpoints;
   C.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
+  C.Locate.CheckpointDelta = Opts.CheckpointDelta;
+  C.Locate.CheckpointShare = Opts.ShareCheckpoints;
+  C.SharedCheckpoints = Shared;
   C.Stats = Opts.Stats;
   C.Tracer = Opts.Tracer;
   return std::make_unique<DebugSession>(*Faulty, Fault.FailingInput, Expected,
@@ -65,9 +69,16 @@ ExperimentResult FaultRunner::run(const Options &Opts) {
   if (!Valid)
     return R;
 
+  // Both phases run the same program: share the input-independent
+  // snapshots so phase B seeds its checkpoint store from phase A's
+  // collection pass. The store outlives both sessions (scope of run()).
+  interp::SharedCheckpointStore Shared;
+  interp::SharedCheckpointStore *SharedPtr =
+      Opts.ShareCheckpoints ? &Shared : nullptr;
+
   // Phase A: discover the implicit edges with a root-only oracle, then
   // derive OS from the expanded dependence graph.
-  std::unique_ptr<DebugSession> PhaseA = makeSession(Opts);
+  std::unique_ptr<DebugSession> PhaseA = makeSession(Opts, SharedPtr);
   assert(PhaseA->hasFailure());
   ProtocolOracle RootOnly(Root, nullptr);
   LocateReport ReportA = PhaseA->locate(RootOnly);
@@ -75,7 +86,7 @@ ExperimentResult FaultRunner::run(const Options &Opts) {
   R.OS = PhaseA->graph().stats(Chain);
 
   // Phase B: the measured run, with the paper's OS-based oracle.
-  std::unique_ptr<DebugSession> PhaseB = makeSession(Opts);
+  std::unique_ptr<DebugSession> PhaseB = makeSession(Opts, SharedPtr);
   assert(PhaseB->hasFailure());
   R.TraceLength = PhaseB->trace().size();
 

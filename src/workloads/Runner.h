@@ -87,10 +87,20 @@ public:
     /// 0 = hardware default, 1 = serial reference engine.
     unsigned Threads = 0;
     /// Checkpoint stride for switched-run re-execution
-    /// (LocateConfig::Checkpoints): 1 = every candidate, 0 = off.
-    unsigned Checkpoints = 1;
+    /// (LocateConfig::Checkpoints): interp::CheckpointStrideAuto (0,
+    /// default) = autotuned, N >= 1 = every Nth candidate,
+    /// interp::CheckpointsOff = full replay.
+    unsigned Checkpoints = interp::CheckpointStrideAuto;
     /// LRU byte budget for retained checkpoints.
-    size_t CheckpointMemBytes = 256ull << 20;
+    size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
+    /// Delta-compress consecutive snapshots (LocateConfig).
+    bool CheckpointDelta = true;
+    /// Share input-independent snapshots between the protocol's phase-A
+    /// and phase-B sessions (both run the same program on the same
+    /// failing input): the runner owns a SharedCheckpointStore for the
+    /// duration of run(), so phase B resumes from phase A's pre-input
+    /// snapshots without re-collecting them.
+    bool ShareCheckpoints = true;
     /// Observability sinks forwarded to every session the protocol
     /// creates (both phases), so benches can print per-phase cost next
     /// to the paper tables. Null = off.
@@ -117,7 +127,8 @@ public:
 
 private:
   std::unique_ptr<core::DebugSession>
-  makeSession(const Options &Opts) const;
+  makeSession(const Options &Opts,
+              interp::SharedCheckpointStore *Shared = nullptr) const;
 
   const FaultInfo &Fault;
   std::unique_ptr<lang::Program> Faulty;

@@ -39,7 +39,9 @@ endif()
 foreach(Key
     "\"interp\"" "\"align\"" "\"verify\"" "\"locate\"" "\"slicing\""
     "\"verifications\"" "\"reexecutions\"" "\"ckpt.hits\"" "\"ckpt.misses\""
-    "\"ckpt.restore_time\"" "\"counters\"" "\"timers\""
+    "\"ckpt.restore_time\"" "\"ckpt.delta_encoded\"" "\"ckpt.keyframes\""
+    "\"ckpt.encoded_bytes\"" "\"ckpt.raw_bytes\"" "\"ckpt.shared_hits\""
+    "\"ckpt.auto_stride\"" "\"counters\"" "\"timers\""
     "\"histograms\"")
   if(NOT LastLine MATCHES "${Key}")
     message(FATAL_ERROR "stats JSON lacks ${Key}:\n${LastLine}")

@@ -196,6 +196,13 @@ const char *const InvariantCounterKeys[] = {
     "interp.resumed_runs", "interp.spliced_steps", "verify.ckpt.hits",
     "verify.ckpt.misses", "verify.ckpt.stored", "verify.ckpt.bytes",
     "verify.ckpt.evictions", "verify.ckpt.skipped_dirty",
+    // The adaptive-storage counters are functions of the collection run
+    // alone (single-threaded, deterministic): what got delta-encoded,
+    // the segment keyframes, the encoded/raw footprint, the autotuned
+    // stride, and (with no shared store wired here) zero shared hits.
+    "verify.ckpt.delta_encoded", "verify.ckpt.keyframes",
+    "verify.ckpt.encoded_bytes", "verify.ckpt.raw_bytes",
+    "verify.ckpt.shared_hits", "verify.ckpt.auto_stride",
     "align.aligners", "align.queries", "align.matched",
     "align.prefix_hits", "align.regions_walked",
     "align.no_match.region_ended_early", "align.no_match.branch_diverged",

@@ -40,6 +40,7 @@ void expectTracesEqual(const ExecutionTrace &A, const ExecutionTrace &B) {
   EXPECT_EQ(A.Exit, B.Exit);
   EXPECT_EQ(A.ExitValue, B.ExitValue);
   EXPECT_EQ(A.SwitchedStep, B.SwitchedStep);
+  EXPECT_EQ(A.FirstInputStep, B.FirstInputStep);
   for (TraceIdx I = 0; I < A.Steps.size(); ++I) {
     const StepRecord &SA = A.step(I), &SB = B.step(I);
     EXPECT_EQ(SA.Stmt, SB.Stmt);
@@ -116,6 +117,32 @@ TEST(TraceIOTest, DeserializedTracesDriveTheAnalyses) {
       S.Interp->runSwitched({}, {S.stmtAtLine(11), 1}, 100000);
   align::ExecutionAligner A(*Loaded, Switched);
   EXPECT_TRUE(A.match(Loaded->Outputs.back().Step).found());
+}
+
+TEST(TraceIOTest, RoundTripsTheFirstInputWatermark) {
+  Session S("fn main() { var a = 1; var x = input(); print(a + x); }");
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.Interp->run({5});
+  ASSERT_NE(T.FirstInputStep, InvalidId);
+  std::string Text = serializeTrace(T);
+  EXPECT_NE(Text.find("\nfirstinput "), std::string::npos);
+  auto Back = deserializeTrace(Text);
+  ASSERT_TRUE(Back.has_value());
+  expectTracesEqual(T, *Back);
+
+  // Version-1 documents predate the watermark; they load with it unset.
+  std::string V1 = "EOETRACE 1\nexit finished 0\nswitched -\n"
+                   "steps 0\noutputs 0\n";
+  std::string Error;
+  auto Old = deserializeTrace(V1, &Error);
+  ASSERT_TRUE(Old.has_value()) << Error;
+  EXPECT_EQ(Old->FirstInputStep, InvalidId);
+
+  // A watermark pointing past the step list is corrupt.
+  std::string Dangling = "EOETRACE 2\nexit finished 0\nswitched -\n"
+                         "firstinput 7\nsteps 0\noutputs 0\n";
+  EXPECT_FALSE(deserializeTrace(Dangling, &Error).has_value());
+  EXPECT_NE(Error.find("firstinput"), std::string::npos);
 }
 
 TEST(TraceIOTest, RejectsCorruptInput) {

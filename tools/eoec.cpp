@@ -50,8 +50,10 @@ struct CliOptions {
   std::vector<int64_t> Expected;
   uint64_t MaxSteps = 5'000'000;
   unsigned Threads = 0;
-  unsigned Checkpoints = 1;
-  size_t CheckpointMemBytes = 256ull << 20;
+  unsigned Checkpoints = interp::CheckpointStrideAuto;
+  size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
+  bool CheckpointDelta = true;
+  bool CheckpointShare = true;
   uint32_t Line = 0;
   uint32_t Instance = 1;
   uint32_t RootLine = 0;
@@ -91,13 +93,23 @@ void usage() {
       "  --max-steps N         step budget (default 5000000)\n"
       "  --threads N           verification worker threads (locate);\n"
       "                        0 = all hardware threads, 1 = serial\n"
-      "  --checkpoints=N|off   checkpoint stride for switched runs\n"
+      "  --checkpoints=N|auto|off\n"
+      "                        checkpoint stride for switched runs\n"
       "                        (locate): snapshot every Nth candidate\n"
       "                        predicate instance and resume instead of\n"
-      "                        replaying the prefix; off = full replay\n"
-      "                        (default 1)\n"
+      "                        replaying the prefix; auto (default) tunes\n"
+      "                        the stride from trace length, candidate\n"
+      "                        density, and the memory budget; off = full\n"
+      "                        replay\n"
       "  --checkpoint-mem MB   checkpoint LRU memory budget in MiB\n"
       "                        (default 256)\n"
+      "  --checkpoint-delta=on|off\n"
+      "                        delta-compress consecutive snapshots,\n"
+      "                        charging the budget with encoded bytes\n"
+      "                        (default on)\n"
+      "  --checkpoint-share=on|off\n"
+      "                        promote input-independent snapshots into a\n"
+      "                        cross-session store (default on)\n"
       "  --no-trace            run without dependence tracing (run)\n"
       "  --stats[=json]        per-phase pipeline statistics: a table on\n"
       "                        stderr, or =json for schema eoe-stats-v1\n"
@@ -168,17 +180,28 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--checkpoints=", 0) == 0) {
       std::string V = Arg.substr(std::strlen("--checkpoints="));
       Opts.Checkpoints =
-          V == "off" ? 0u
-                     : static_cast<unsigned>(std::strtoul(V.c_str(), nullptr,
-                                                          10));
+          V == "off"
+              ? interp::CheckpointsOff
+              : V == "auto"
+                    ? interp::CheckpointStrideAuto
+                    : static_cast<unsigned>(
+                          std::strtoul(V.c_str(), nullptr, 10));
     } else if (Arg == "--checkpoints") {
       const char *V = Next();
       if (!V)
         return false;
-      Opts.Checkpoints = std::strcmp(V, "off") == 0
-                             ? 0u
-                             : static_cast<unsigned>(
-                                   std::strtoul(V, nullptr, 10));
+      Opts.Checkpoints =
+          std::strcmp(V, "off") == 0
+              ? interp::CheckpointsOff
+              : std::strcmp(V, "auto") == 0
+                    ? interp::CheckpointStrideAuto
+                    : static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg.rfind("--checkpoint-delta=", 0) == 0) {
+      Opts.CheckpointDelta =
+          Arg.substr(std::strlen("--checkpoint-delta=")) != "off";
+    } else if (Arg.rfind("--checkpoint-share=", 0) == 0) {
+      Opts.CheckpointShare =
+          Arg.substr(std::strlen("--checkpoint-share=")) != "off";
     } else if (Arg.rfind("--checkpoint-mem=", 0) == 0) {
       Opts.CheckpointMemBytes =
           std::strtoull(Arg.c_str() + std::strlen("--checkpoint-mem="),
@@ -413,8 +436,15 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   Config.Threads = Opts.Threads;
   Config.Locate.Checkpoints = Opts.Checkpoints;
   Config.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
+  Config.Locate.CheckpointDelta = Opts.CheckpointDelta;
+  Config.Locate.CheckpointShare = Opts.CheckpointShare;
   Config.Stats = Opts.StatsReg;
   Config.Tracer = Opts.Tracer;
+  // One CLI invocation is one session, but wiring the store keeps the
+  // promotion path (and its counters) live for --stats users.
+  interp::SharedCheckpointStore Shared;
+  if (Opts.CheckpointShare)
+    Config.SharedCheckpoints = &Shared;
   core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
     std::printf("no failure: outputs match the expected sequence\n");
