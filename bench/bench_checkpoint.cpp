@@ -33,6 +33,7 @@
 #include "BenchUtil.h"
 
 #include "core/DebugSession.h"
+#include "interp/CheckpointDiskStore.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
 #include "support/Stats.h"
@@ -202,10 +203,37 @@ struct SweepResult {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --checkpoint-dir=DIR persists the shared checkpoint store across
+  // bench invocations (CI runs the bench twice over one directory);
+  // --expect-disk-hits asserts the warm run actually resumed switched
+  // runs from disk-loaded snapshots.
+  std::string CheckpointDir;
+  bool ExpectDiskHits = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--checkpoint-dir=", 0) == 0)
+      CheckpointDir = Arg.substr(17);
+    else if (Arg == "--expect-disk-hits")
+      ExpectDiskHits = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_checkpoint [--checkpoint-dir=DIR] "
+                   "[--expect-disk-hits]\n");
+      return 2;
+    }
+  }
+
   bench::banner("Checkpointed switched-run re-execution: locateFault "
                 "wall-clock, snapshot/resume vs full prefix replay "
                 "(bit-identical results required)");
+
+  // One process-wide shared store: with a cache directory it is loaded
+  // by every session and saved once per subject at the end, so a second
+  // bench invocation warm-starts (verify.ckpt.disk_hits > 0) while all
+  // results stay bit-identical to the cold run.
+  interp::SharedCheckpointStore Shared;
+  uint64_t TotalDiskHits = 0, TotalDiskLoads = 0;
 
   DiagnosticEngine Diags;
   auto Fixed = lang::parseAndCheck(subject(/*Fixed=*/true), Diags);
@@ -246,6 +274,10 @@ int main() {
         C.Threads = Threads;
         C.Locate.Checkpoints = Checkpoints;
         C.Stats = &Stats;
+        if (!CheckpointDir.empty()) {
+          C.SharedCheckpoints = &Shared;
+          C.Locate.CheckpointDir = CheckpointDir;
+        }
         DebugSession Session(*Faulty, {}, Expected, {}, C);
         if (!Session.hasFailure()) {
           std::fprintf(stderr, "fault did not reproduce\n");
@@ -257,6 +289,8 @@ int main() {
         Timer LocateTimer;
         LocateReport Out = Session.locate(Oracle);
         double Ms = LocateTimer.seconds() * 1000;
+        TotalDiskHits += Stats.counter("verify.ckpt.disk_hits").get();
+        TotalDiskLoads += Stats.counter("verify.ckpt.disk_loads").get();
         if (!Out.RootCauseFound) {
           std::fprintf(stderr, "root cause not found (threads=%u ckpt=%s)\n",
                        Threads, modeName(Checkpoints));
@@ -455,6 +489,8 @@ int main() {
     Timer LocateTimer;
     RunResult Ref;
     Ref.Report = Session.locate(Oracle);
+    TotalDiskHits += Stats.counter("verify.ckpt.disk_hits").get();
+    TotalDiskLoads += Stats.counter("verify.ckpt.disk_loads").get();
     RefRow.LocateMs = LocateTimer.seconds() * 1000;
     Ref.Edges = Session.graph().implicitEdges();
     if (!Ref.Report.RootCauseFound) {
@@ -479,6 +515,10 @@ int main() {
       C.Locate.CheckpointMemBytes = BudgetMB << 20;
       C.Locate.CheckpointDelta = Delta;
       C.Stats = &Stats;
+      if (!CheckpointDir.empty()) {
+        C.SharedCheckpoints = &Shared;
+        C.Locate.CheckpointDir = CheckpointDir;
+      }
       DebugSession Session(*SweepFaulty, {}, SweepExpected, {}, C);
       if (!Session.hasFailure()) {
         std::fprintf(stderr, "sweep fault did not reproduce\n");
@@ -489,6 +529,8 @@ int main() {
       RunResult Outcome;
       Outcome.Report = Session.locate(Oracle);
       Row.LocateMs = LocateTimer.seconds() * 1000;
+      TotalDiskHits += Stats.counter("verify.ckpt.disk_hits").get();
+      TotalDiskLoads += Stats.counter("verify.ckpt.disk_loads").get();
       Outcome.Edges = Session.graph().implicitEdges();
       support::StatsSnapshot S = Stats.snapshot();
       auto Counter = [&](const char *Key) {
@@ -576,6 +618,28 @@ int main() {
     std::printf("wrote %s\n", SweepJsonPath);
   } else {
     std::fprintf(stderr, "could not write %s\n", SweepJsonPath);
+  }
+
+  // Persist the shared store for the next invocation: one cache file per
+  // subject, keyed the way the sessions load (default LocateConfig step
+  // budget).
+  if (!CheckpointDir.empty()) {
+    interp::CheckpointDiskStore Disk(CheckpointDir);
+    if (!Disk.save(Shared, *Faulty, LocateConfig().MaxSteps) ||
+        !Disk.save(Shared, *SweepFaulty, LocateConfig().MaxSteps)) {
+      std::fprintf(stderr, "could not write checkpoint cache in %s\n",
+                   CheckpointDir.c_str());
+      return 1;
+    }
+    std::printf("checkpoint cache: %llu snapshots loaded from disk, %llu "
+                "switched runs resumed from disk snapshots\n",
+                static_cast<unsigned long long>(TotalDiskLoads),
+                static_cast<unsigned long long>(TotalDiskHits));
+  }
+  if (ExpectDiskHits && TotalDiskHits == 0) {
+    std::fprintf(stderr, "--expect-disk-hits: no switched run resumed from "
+                         "a disk-loaded snapshot\n");
+    return 1;
   }
 
   if (!Identical || !SweepOk)

@@ -7,6 +7,8 @@
 
 #include "core/DebugSession.h"
 
+#include "interp/CheckpointDiskStore.h"
+
 #include <cassert>
 
 using namespace eoe;
@@ -22,9 +24,30 @@ DebugSession::DebugSession(const lang::Program &Prog,
     : Prog(Prog), FailingInput(std::move(FailingInputIn)),
       ExpectedOutputs(std::move(ExpectedOutputsIn)), C(CIn), SA(Prog),
       Interp(Prog, SA, CIn.Stats), Prof(Prog.statements().size()) {
+  const bool ShareWired = C.Locate.CheckpointShare && C.SharedCheckpoints;
+
+  // Warm start: revive this (program, budget) key's persisted snapshots
+  // into the shared store before anything runs. Best-effort -- a missing
+  // or corrupt cache only costs the warm start (and bumps
+  // verify.ckpt.disk_rejects), never the session.
+  if (ShareWired && !C.Locate.CheckpointDir.empty()) {
+    support::EventTracer::Span LoadSpan(C.Tracer, "ckpt.disk_load", "interp");
+    interp::CheckpointDiskStore Disk(C.Locate.CheckpointDir);
+    Disk.load(*C.SharedCheckpoints, Prog, C.Locate.MaxSteps, C.Stats);
+  }
+
   {
     support::EventTracer::Span ProfileSpan(C.Tracer, "profile", "interp");
-    Prof = profileTestSuite(Interp, Prog, TestSuite, C.MaxSteps);
+    ProfileOptions PO;
+    PO.MaxStepsPerRun = C.MaxSteps;
+    if (ShareWired) {
+      // The profiler's re-executions double as checkpoint collection for
+      // the shared store (and thus, via the session owner's save, for
+      // the persistent cache).
+      PO.Share = C.SharedCheckpoints;
+      PO.ShareMaxSteps = C.Locate.MaxSteps;
+    }
+    Prof = profileTestSuite(Interp, Prog, TestSuite, PO);
   }
 
   Interpreter::Options Opts;

@@ -35,6 +35,8 @@
 #include "slicing/PotentialDeps.h"
 #include "slicing/Pruning.h"
 
+#include <string>
+
 namespace eoe {
 namespace core {
 
@@ -81,6 +83,13 @@ struct LocateConfig {
   /// seed from it (wired by DebugSession when its config carries a
   /// SharedCheckpointStore).
   bool CheckpointShare = true;
+  /// Persistent checkpoint cache directory (docs/checkpointing.md,
+  /// "The on-disk cache"). When non-empty and CheckpointShare is on,
+  /// DebugSession seeds the shared store from the cache file keyed by
+  /// (program hash, MaxSteps) before profiling, and the session owner
+  /// (eoec, FaultRunner, a bench) saves the store back on exit. Empty =
+  /// in-memory sharing only.
+  std::string CheckpointDir;
 };
 
 /// The paper's Table 3 row for one debugging session.

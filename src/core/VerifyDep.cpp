@@ -59,6 +59,13 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
   CCkptRawBytes = &Reg->counter("verify.ckpt.raw_bytes");
   CCkptSharedHits = &Reg->counter("verify.ckpt.shared_hits");
   CCkptAutoStride = &Reg->counter("verify.ckpt.auto_stride");
+  CCkptDiskHits = &Reg->counter("verify.ckpt.disk_hits");
+  // Registered eagerly (the disk store bumps them through the registry by
+  // name) so --stats always shows the full verify.ckpt.* key set and the
+  // determinism allowlist can assert them at any thread count.
+  Reg->counter("verify.ckpt.disk_loads");
+  Reg->counter("verify.ckpt.disk_rejects");
+  Reg->counter("verify.ckpt.disk_write_bytes");
   TReexec = &Reg->timer("verify.reexec_time");
   TCkptRestore = &Reg->timer("verify.ckpt.restore_time");
   TCkptCollect = &Reg->timer("verify.ckpt.collect_time");
@@ -123,6 +130,8 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
       std::lock_guard<std::mutex> Lock(SharedIdxMutex);
       if (SharedIdx.count(CP->Index))
         CCkptSharedHits->add();
+      if (DiskIdx.count(CP->Index))
+        CCkptDiskHits->add();
     } else {
       CCkptMisses->add();
     }
@@ -175,6 +184,8 @@ void ImplicitDepVerifier::maybeCollectCheckpoints(
           SharedCheckpointStore::hashProgram(*C.CheckpointShareProgram);
       Plan.ShareProgram = C.CheckpointShareProgram;
       Plan.ShareMaxSteps = C.MaxSteps;
+      std::vector<TraceIdx> FromDisk = C.CheckpointShare->diskIndicesFor(
+          Plan.ShareHash, Plan.ShareProgram, Plan.ShareMaxSteps);
       std::lock_guard<std::mutex> Lock(SharedIdxMutex);
       for (const std::shared_ptr<const Checkpoint> &CP :
            C.CheckpointShare->snapshotsFor(Plan.ShareHash, Plan.ShareProgram,
@@ -183,6 +194,8 @@ void ImplicitDepVerifier::maybeCollectCheckpoints(
           continue; // Defensive: resume() splices E's prefix up to Index.
         Ckpts->insert(CP);
         SharedIdx.insert(CP->Index);
+        if (std::binary_search(FromDisk.begin(), FromDisk.end(), CP->Index))
+          DiskIdx.insert(CP->Index);
       }
     }
 

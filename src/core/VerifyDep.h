@@ -243,6 +243,7 @@ private:
   support::StatCounter *CCkptRawBytes = nullptr;
   support::StatCounter *CCkptSharedHits = nullptr;
   support::StatCounter *CCkptAutoStride = nullptr;
+  support::StatCounter *CCkptDiskHits = nullptr;
   support::StatTimer *TReexec = nullptr;
   support::StatTimer *TCkptRestore = nullptr;
   support::StatTimer *TCkptCollect = nullptr;
@@ -263,6 +264,9 @@ private:
   /// switched runs resuming from one count as verify.ckpt.shared_hits.
   std::mutex SharedIdxMutex;
   std::set<TraceIdx> SharedIdx;
+  /// Subset of SharedIdx whose snapshots the shared store revived from
+  /// the persistent cache; resumes count as verify.ckpt.disk_hits.
+  std::set<TraceIdx> DiskIdx;
 
   /// The original trace's region tree, built once and shared by every
   /// aligner (it is identical across all switched runs).

@@ -336,7 +336,7 @@ size_t CheckpointStore::evictions() const {
 
 bool SharedCheckpointStore::promote(const std::shared_ptr<const Checkpoint> &CP,
                                     uint64_t ProgramHash, const void *Program,
-                                    uint64_t MaxSteps) {
+                                    uint64_t MaxSteps, bool FromDisk) {
   if (!CP || !CP->InputIndependent)
     return false;
   std::lock_guard<std::mutex> Lock(M);
@@ -350,8 +350,22 @@ bool SharedCheckpointStore::promote(const std::shared_ptr<const Checkpoint> &CP,
     return false;
   }
   ForKey.emplace(CP->Index, CP);
+  if (FromDisk) {
+    auto &Idx = DiskOrigin[K];
+    Idx.insert(std::lower_bound(Idx.begin(), Idx.end(), CP->Index),
+               CP->Index);
+  }
   Bytes += Sz;
   return true;
+}
+
+std::vector<TraceIdx>
+SharedCheckpointStore::diskIndicesFor(uint64_t ProgramHash,
+                                      const void *Program,
+                                      uint64_t MaxSteps) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = DiskOrigin.find(Key{ProgramHash, Program, MaxSteps});
+  return It == DiskOrigin.end() ? std::vector<TraceIdx>{} : It->second;
 }
 
 std::vector<std::shared_ptr<const Checkpoint>>

@@ -374,14 +374,25 @@ public:
   /// leaves the store unchanged) when the snapshot is not input-
   /// independent, already present, or the byte budget is exhausted --
   /// shared entries are immutable and never evicted, so the budget is a
-  /// hard admission cap.
+  /// hard admission cap. \p FromDisk marks entries revived from the
+  /// persistent cache (CheckpointDiskStore::load); resumes from them are
+  /// attributed to verify.ckpt.disk_hits. A snapshot first promoted by a
+  /// live collection pass keeps its live origin even if the cache later
+  /// offers the same index.
   bool promote(const std::shared_ptr<const Checkpoint> &CP,
-               uint64_t ProgramHash, const void *Program, uint64_t MaxSteps);
+               uint64_t ProgramHash, const void *Program, uint64_t MaxSteps,
+               bool FromDisk = false);
 
   /// All snapshots registered under the key, ascending by trace index.
   std::vector<std::shared_ptr<const Checkpoint>>
   snapshotsFor(uint64_t ProgramHash, const void *Program,
                uint64_t MaxSteps) const;
+
+  /// Trace indices of the key's entries that came from the persistent
+  /// cache (promote with FromDisk), ascending.
+  std::vector<TraceIdx> diskIndicesFor(uint64_t ProgramHash,
+                                       const void *Program,
+                                       uint64_t MaxSteps) const;
 
   size_t count() const;
   size_t bytes() const;
@@ -409,6 +420,8 @@ private:
   mutable std::mutex M;
   std::map<Key, std::map<TraceIdx, std::shared_ptr<const Checkpoint>>>
       Entries;
+  /// Subset of each key's indices that were promoted FromDisk.
+  std::map<Key, std::vector<TraceIdx>> DiskOrigin;
   size_t Budget;
   size_t Bytes = 0;
   size_t Rejected = 0;

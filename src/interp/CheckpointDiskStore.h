@@ -1,0 +1,137 @@
+//===-- interp/CheckpointDiskStore.h - Persistent checkpoints ----*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk persistence for the cross-input SharedCheckpointStore, so a
+/// later process over the same program starts its switched-run
+/// verification warm instead of re-deriving every input-independent
+/// snapshot. One cache file holds the snapshots of one
+/// (program hash, step budget) validity key; the program-identity half of
+/// the in-memory key is re-established at load time by rebinding each
+/// frame's Function pointer through the loading session's Program.
+///
+/// File format (version 1, all integers little-endian, fixed width):
+///
+///   header   := magic[8]="EOECKPT\0" u32 version u64 programHash
+///               u64 maxSteps u32 recordCount u32 headerCrc
+///   record   := u32 payloadLen u32 payloadCrc payload[payloadLen]
+///   payload  := u8 kind (0 = keyframe, 1 = delta) body
+///
+/// A keyframe body is a full serialized Checkpoint; a delta body is a
+/// serialized CheckpointDelta applied against the previously decoded
+/// checkpoint, mirroring the in-memory segment chains (keyframe +
+/// chained ArrayDelta/PredMapDelta/CheckpointFrameDelta records). The
+/// first record must be a keyframe and a fresh keyframe is emitted at
+/// least every KeyframeInterval records or whenever the delta fails to
+/// shrink, so decode cost stays bounded.
+///
+/// The loader is hardened: every read is bounds-checked, vector counts
+/// are validated against the bytes remaining, header and per-record
+/// CRC32 checksums must match, function ids and delta base frames must
+/// resolve, and trailing garbage is rejected -- a truncated, bit-flipped
+/// or version-skewed file yields a clean reject (load() counts it under
+/// verify.ckpt.disk_rejects), never a crash or a wrong splice. Writes go
+/// to a temp file renamed into place, so a crashed writer leaves either
+/// the old cache or none.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_INTERP_CHECKPOINTDISKSTORE_H
+#define EOE_INTERP_CHECKPOINTDISKSTORE_H
+
+#include "interp/Checkpoint.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eoe {
+
+namespace lang {
+class Program;
+}
+
+namespace support {
+class StatsRegistry;
+}
+
+namespace interp {
+
+/// Cache file format version. Bump on any layout change; the loader
+/// rejects every other value (the golden-file test under tests/golden/
+/// turns silent format drift into an explicit bump).
+inline constexpr uint32_t CheckpointDiskVersion = 1;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over \p Len bytes. Exposed
+/// for the fuzzer and tests; detects all single-bit and burst-below-32
+/// corruptions of a record payload.
+uint32_t ckptCrc32(const void *Data, size_t Len);
+
+/// Serializes \p Snapshots (ascending by trace index, all captured from
+/// runs of \p Prog) into the version-1 cache file format under the
+/// (ProgramHash, MaxSteps) validity key. Frames reference \p Prog's
+/// functions by id. Deterministic: equal snapshot lists produce equal
+/// bytes (maps are emitted sorted).
+std::string
+serializeCheckpoints(const std::vector<std::shared_ptr<const Checkpoint>> &Snapshots,
+                     const lang::Program &Prog, uint64_t ProgramHash,
+                     uint64_t MaxSteps,
+                     unsigned KeyframeInterval = DefaultKeyframeInterval);
+
+/// Decodes a cache file image. Returns the snapshots (ascending by trace
+/// index, frames rebound to \p Prog) or std::nullopt on any structural
+/// problem: bad magic/version, checksum mismatch, truncation, oversized
+/// counts, unknown record kinds, unresolvable function ids, delta records
+/// without a base, stale ProgramHash or MaxSteps, trailing bytes. When
+/// \p Error is non-null it receives a one-line reason.
+std::optional<std::vector<std::shared_ptr<const Checkpoint>>>
+deserializeCheckpoints(std::string_view Bytes, const lang::Program &Prog,
+                       uint64_t ExpectedHash, uint64_t ExpectedMaxSteps,
+                       std::string *Error = nullptr);
+
+/// Directory of cache files, one per (program hash, step budget) key.
+/// load() seeds a SharedCheckpointStore from the matching file; save()
+/// atomically (write temp + rename) persists the store's entries for the
+/// key. Both are best-effort: a missing directory or corrupt file never
+/// fails the session, it only costs the warm start.
+class CheckpointDiskStore {
+public:
+  explicit CheckpointDiskStore(std::string Dir) : Dir(std::move(Dir)) {}
+
+  const std::string &directory() const { return Dir; }
+
+  /// Cache file name for a validity key: "ckpt-<hash16>-<maxsteps>.eoeckpt".
+  static std::string fileNameFor(uint64_t ProgramHash, uint64_t MaxSteps);
+  std::string pathFor(uint64_t ProgramHash, uint64_t MaxSteps) const;
+
+  /// Reads the cache file for (hashProgram(Prog), MaxSteps) and promotes
+  /// every decoded snapshot into \p Shared under that key. Returns the
+  /// number of snapshots promoted. Missing file: 0, no error. Corrupt
+  /// file: 0, bumps verify.ckpt.disk_rejects. Promoted snapshots bump
+  /// verify.ckpt.disk_loads and are tagged disk-origin in \p Shared so
+  /// resumes from them count as verify.ckpt.disk_hits.
+  size_t load(SharedCheckpointStore &Shared, const lang::Program &Prog,
+              uint64_t MaxSteps, support::StatsRegistry *Stats = nullptr);
+
+  /// Serializes \p Shared's snapshots for (hashProgram(Prog), MaxSteps)
+  /// and renames them into place over any previous cache file. A store
+  /// with no snapshots for the key writes nothing. Returns false only on
+  /// an I/O failure. Written bytes bump verify.ckpt.disk_write_bytes.
+  bool save(const SharedCheckpointStore &Shared, const lang::Program &Prog,
+            uint64_t MaxSteps, support::StatsRegistry *Stats = nullptr);
+
+private:
+  std::string Dir;
+};
+
+} // namespace interp
+} // namespace eoe
+
+#endif // EOE_INTERP_CHECKPOINTDISKSTORE_H

@@ -7,6 +7,7 @@
 
 #include "workloads/Runner.h"
 
+#include "interp/CheckpointDiskStore.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
 #include "support/Timer.h"
@@ -56,6 +57,7 @@ FaultRunner::makeSession(const Options &Opts,
   C.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
   C.Locate.CheckpointDelta = Opts.CheckpointDelta;
   C.Locate.CheckpointShare = Opts.ShareCheckpoints;
+  C.Locate.CheckpointDir = Opts.CheckpointDir;
   C.SharedCheckpoints = Shared;
   C.Stats = Opts.Stats;
   C.Tracer = Opts.Tracer;
@@ -114,6 +116,14 @@ ExperimentResult FaultRunner::run(const Options &Opts) {
   Timer VerifyTimer;
   R.Report = PhaseB->locate(ChainOracle);
   R.VerifySeconds = VerifyTimer.seconds();
+
+  // Persist the shared store for the next process over this fault. The
+  // sessions load under LocateConfig::MaxSteps (the default -- the
+  // runner never overrides it), so save under the same key.
+  if (SharedPtr && !Opts.CheckpointDir.empty()) {
+    interp::CheckpointDiskStore Disk(Opts.CheckpointDir);
+    Disk.save(*SharedPtr, *Faulty, core::LocateConfig().MaxSteps, Opts.Stats);
+  }
 
   if (Opts.MeasureTimes) {
     analysis::StaticAnalysis SA(*Faulty);

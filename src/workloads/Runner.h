@@ -101,6 +101,12 @@ public:
     /// duration of run(), so phase B resumes from phase A's pre-input
     /// snapshots without re-collecting them.
     bool ShareCheckpoints = true;
+    /// Persistent checkpoint cache directory (LocateConfig::
+    /// CheckpointDir): phase A loads the cache before running, and the
+    /// runner saves the shared store back after phase B, so repeated
+    /// protocol runs over the same fault warm-start across processes.
+    /// Requires ShareCheckpoints; empty = no persistence.
+    std::string CheckpointDir;
     /// Observability sinks forwarded to every session the protocol
     /// creates (both phases), so benches can print per-phase cost next
     /// to the paper tables. Null = off.

@@ -41,7 +41,9 @@ foreach(Key
     "\"verifications\"" "\"reexecutions\"" "\"ckpt.hits\"" "\"ckpt.misses\""
     "\"ckpt.restore_time\"" "\"ckpt.delta_encoded\"" "\"ckpt.keyframes\""
     "\"ckpt.encoded_bytes\"" "\"ckpt.raw_bytes\"" "\"ckpt.shared_hits\""
-    "\"ckpt.auto_stride\"" "\"counters\"" "\"timers\""
+    "\"ckpt.auto_stride\"" "\"ckpt.disk_hits\"" "\"ckpt.disk_loads\""
+    "\"ckpt.disk_rejects\"" "\"ckpt.disk_write_bytes\""
+    "\"counters\"" "\"timers\""
     "\"histograms\"")
   if(NOT LastLine MATCHES "${Key}")
     message(FATAL_ERROR "stats JSON lacks ${Key}:\n${LastLine}")

@@ -1,0 +1,75 @@
+# End-to-end warm-start check of the persistent checkpoint cache, run as
+# a ctest script:
+#
+#   cmake -DEOEC=<eoec binary> -DEXAMPLE=<figure1.siml> -DOUT_DIR=<dir>
+#         -P CheckWarmStart.cmake
+#
+# A cold `eoec locate --checkpoint-dir` run writes the cache; warm runs
+# must produce byte-identical stdout at 1 and 4 threads (a disk-loaded
+# snapshot is the same object a live collection pass would have
+# promoted), and a warm --stats=json run must show the cache actually
+# used: snapshots revived (ckpt.disk_loads) and at least one switched
+# run resumed from a disk snapshot (ckpt.disk_hits).
+
+foreach(Var EOEC EXAMPLE OUT_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "missing -D${Var}=...")
+  endif()
+endforeach()
+
+set(CacheDir "${OUT_DIR}/warm_start_cache")
+file(REMOVE_RECURSE "${CacheDir}")
+
+set(BaseArgs locate "${EXAMPLE}" --expected 8,19387 --root-line 11
+    "--checkpoint-dir=${CacheDir}")
+
+execute_process(
+  COMMAND "${EOEC}" ${BaseArgs}
+  OUTPUT_VARIABLE ColdOut
+  ERROR_VARIABLE ColdErr
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "cold run failed (rc=${Rc}):\n${ColdOut}\n${ColdErr}")
+endif()
+
+file(GLOB CacheFiles "${CacheDir}/*.eoeckpt")
+if(CacheFiles STREQUAL "")
+  message(FATAL_ERROR "cold run wrote no cache file in ${CacheDir}")
+endif()
+
+foreach(Threads 1 4)
+  execute_process(
+    COMMAND "${EOEC}" ${BaseArgs} --threads ${Threads}
+    OUTPUT_VARIABLE WarmOut
+    ERROR_VARIABLE WarmErr
+    RESULT_VARIABLE Rc)
+  if(NOT Rc EQUAL 0)
+    message(FATAL_ERROR
+        "warm run failed (threads=${Threads}, rc=${Rc}):\n${WarmOut}\n${WarmErr}")
+  endif()
+  if(NOT WarmOut STREQUAL ColdOut)
+    message(FATAL_ERROR "warm stdout differs from cold at ${Threads} "
+        "threads:\n--- cold ---\n${ColdOut}\n--- warm ---\n${WarmOut}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${EOEC}" ${BaseArgs} --stats=json
+  OUTPUT_VARIABLE StatsOut
+  ERROR_VARIABLE StatsErr
+  RESULT_VARIABLE Rc)
+if(NOT Rc EQUAL 0)
+  message(FATAL_ERROR "stats run failed (rc=${Rc}):\n${StatsOut}\n${StatsErr}")
+endif()
+string(STRIP "${StatsOut}" StatsOut)
+string(REGEX REPLACE ".*\n" "" LastLine "${StatsOut}")
+foreach(Key "ckpt.disk_loads" "ckpt.disk_hits")
+  if(NOT LastLine MATCHES "\"${Key}\":[1-9]")
+    message(FATAL_ERROR "warm run shows no ${Key}:\n${LastLine}")
+  endif()
+endforeach()
+if(LastLine MATCHES "\"ckpt.disk_rejects\":[1-9]")
+  message(FATAL_ERROR "warm run rejected its own cache:\n${LastLine}")
+endif()
+
+message(STATUS "warm-start check passed")

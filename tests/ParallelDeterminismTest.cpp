@@ -203,6 +203,12 @@ const char *const InvariantCounterKeys[] = {
     "verify.ckpt.delta_encoded", "verify.ckpt.keyframes",
     "verify.ckpt.encoded_bytes", "verify.ckpt.raw_bytes",
     "verify.ckpt.shared_hits", "verify.ckpt.auto_stride",
+    // The persistent-cache counters: loads/rejects/write_bytes are
+    // functions of the cache file alone, and disk-hit attribution
+    // resolves once per distinct predicate like ckpt.hits (zero here,
+    // with no cache directory wired).
+    "verify.ckpt.disk_hits", "verify.ckpt.disk_loads",
+    "verify.ckpt.disk_rejects", "verify.ckpt.disk_write_bytes",
     "align.aligners", "align.queries", "align.matched",
     "align.prefix_hits", "align.regions_walked",
     "align.no_match.region_ended_early", "align.no_match.branch_diverged",

@@ -145,6 +145,41 @@ TEST(TraceIOTest, RoundTripsTheFirstInputWatermark) {
   EXPECT_NE(Error.find("firstinput"), std::string::npos);
 }
 
+TEST(TraceIOTest, RejectsMalformedFirstInputRecords) {
+  // A version-2 document from a real input-reading run, damaged three
+  // ways around its firstinput record.
+  Session S("fn main() { var a = 1; var x = input(); print(a + x); }");
+  ASSERT_TRUE(S.valid());
+  ExecutionTrace T = S.Interp->run({5});
+  ASSERT_NE(T.FirstInputStep, InvalidId);
+  std::string Good = serializeTrace(T);
+  size_t At = Good.find("\nfirstinput ");
+  ASSERT_NE(At, std::string::npos);
+  size_t LineEnd = Good.find('\n', At + 1);
+  ASSERT_NE(LineEnd, std::string::npos);
+  std::string Error;
+
+  // Missing: a v2 trace without the record is truncated, not "old".
+  std::string Missing = Good;
+  Missing.erase(At, LineEnd - At);
+  EXPECT_FALSE(deserializeTrace(Missing, &Error).has_value());
+  EXPECT_EQ(Error, "bad firstinput record");
+
+  // Duplicate: a second record where the steps header belongs.
+  std::string Duplicated = Good;
+  Duplicated.insert(LineEnd, "\nfirstinput 0");
+  EXPECT_FALSE(deserializeTrace(Duplicated, &Error).has_value());
+  EXPECT_EQ(Error, "bad steps header");
+
+  // Watermark exactly one past the last step of a non-empty trace (the
+  // off-by-one boundary; the in-range indices all round-trip).
+  std::string PastEnd = Good;
+  PastEnd.replace(At, LineEnd - At,
+                  "\nfirstinput " + std::to_string(T.Steps.size()));
+  EXPECT_FALSE(deserializeTrace(PastEnd, &Error).has_value());
+  EXPECT_EQ(Error, "firstinput dangling step index");
+}
+
 TEST(TraceIOTest, RejectsCorruptInput) {
   Session S(Src);
   ASSERT_TRUE(S.valid());

@@ -10,20 +10,30 @@
 // it, and the demand-driven locator finds it. Any deviation is printed
 // with the offending seed and program for triage.
 //
-//   eoe-fuzz [--seeds N] [--start S] [--verbose]
+//   eoe-fuzz [--fuzz=pipeline|diskstore] [--seeds N] [--start S] [--verbose]
+//
+// --fuzz=diskstore targets the persistent checkpoint cache instead:
+// each seed serializes a random program's snapshots, round-trips them,
+// then mutates the byte image (bit flips, truncation, length-field
+// corruption, version skew) and asserts the hardened loader either
+// rejects cleanly or decodes the original state exactly -- never
+// crashes, never fabricates a snapshot.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/DebugSession.h"
 #include "gen/RandomProgram.h"
+#include "interp/CheckpointDiskStore.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
 
 using namespace eoe;
@@ -102,12 +112,163 @@ bool runSeed(uint64_t Seed, bool Verbose, Tally &T) {
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Disk-store fuzzing: the loader must reject every corrupted cache image
+// cleanly (or prove it decodes the original exactly -- a mutation the
+// checksums cannot see must at least be harmless).
+//===----------------------------------------------------------------------===//
+
+struct DiskTally {
+  size_t Generated = 0;
+  size_t Snapshots = 0;
+  size_t Mutations = 0;
+  size_t Rejected = 0;
+  size_t Harmless = 0;
+  size_t Failures = 0;
+};
+
+using SnapshotList = std::vector<std::shared_ptr<const interp::Checkpoint>>;
+
+bool sameSnapshots(const SnapshotList &A, const SnapshotList &B) {
+  return A.size() == B.size() &&
+         std::equal(A.begin(), A.end(), B.begin(),
+                    [](const auto &X, const auto &Y) { return *X == *Y; });
+}
+
+bool runDiskstoreSeed(uint64_t Seed, bool Verbose, DiskTally &T) {
+  gen::RandomProgramGenerator Gen(Seed);
+  auto Variant = Gen.generateOmission();
+  ++T.Generated;
+
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(Variant.FaultySource, Diags);
+  if (!Prog) {
+    std::printf("seed %llu: GENERATED PROGRAM DOES NOT PARSE\n%s\n",
+                static_cast<unsigned long long>(Seed), Diags.str().c_str());
+    ++T.Failures;
+    return false;
+  }
+  analysis::StaticAnalysis SA(*Prog);
+  interp::Interpreter Interp(*Prog, SA);
+  interp::ExecutionTrace Trace = Interp.run(Variant.Input);
+
+  // Snapshot up to 24 predicate instances spread over the trace, the
+  // same way a collection pass would.
+  std::vector<TraceIdx> Sites;
+  for (TraceIdx I = 0; I < Trace.size(); ++I)
+    if (Trace.step(I).isPredicateInstance())
+      Sites.push_back(I);
+  if (Sites.size() > 24) {
+    std::vector<TraceIdx> Thinned;
+    size_t Stride = Sites.size() / 24;
+    for (size_t I = 0; I < Sites.size(); I += Stride)
+      Thinned.push_back(Sites[I]);
+    Sites = std::move(Thinned);
+  }
+  interp::CheckpointStore Store(interp::DefaultCheckpointMemBytes);
+  interp::CheckpointPlan Plan;
+  Plan.Sites = Sites;
+  Plan.Store = &Store;
+  interp::Interpreter::Options Opts;
+  Opts.Checkpoints = &Plan;
+  Interp.run(Variant.Input, Opts);
+
+  SnapshotList Snaps;
+  for (TraceIdx S : Sites)
+    if (auto CP = Store.nearest(S))
+      if (Snaps.empty() || Snaps.back()->Index < CP->Index)
+        Snaps.push_back(CP);
+  T.Snapshots += Snaps.size();
+
+  const uint64_t MaxSteps = 1'000'000;
+  const uint64_t Hash = interp::SharedCheckpointStore::hashProgram(*Prog);
+  std::string Bytes =
+      interp::serializeCheckpoints(Snaps, *Prog, Hash, MaxSteps);
+  if (Bytes.empty()) {
+    std::printf("seed %llu: SERIALIZATION FAILED\n",
+                static_cast<unsigned long long>(Seed));
+    ++T.Failures;
+    return false;
+  }
+
+  std::string Err;
+  auto Back =
+      interp::deserializeCheckpoints(Bytes, *Prog, Hash, MaxSteps, &Err);
+  if (!Back || !sameSnapshots(Snaps, *Back)) {
+    std::printf("seed %llu: CLEAN ROUND-TRIP FAILED (%s)\n",
+                static_cast<unsigned long long>(Seed),
+                Back ? "decoded state differs" : Err.c_str());
+    ++T.Failures;
+    return false;
+  }
+
+  // Seeded mutations. Every decode attempt must come back as a clean
+  // reject or as the exact original snapshots; anything else (crash, UB,
+  // silently different state) is a loader bug.
+  std::mt19937_64 Rng(Seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  bool Ok = true;
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    std::string M = Bytes;
+    const char *What = "";
+    switch (Rng() % 4) {
+    case 0: { // Bit flips.
+      What = "bit flip";
+      int Flips = 1 + static_cast<int>(Rng() % 4);
+      for (int F = 0; F < Flips; ++F)
+        M[Rng() % M.size()] ^= static_cast<char>(1u << (Rng() % 8));
+      break;
+    }
+    case 1: // Truncation (always strictly shorter).
+      What = "truncation";
+      M.resize(Rng() % M.size());
+      break;
+    case 2: { // 4-byte stomp: length fields, CRCs, counts, anything.
+      What = "length-field corruption";
+      size_t At = Rng() % (M.size() - 3);
+      uint32_t V = static_cast<uint32_t>(Rng());
+      for (int B = 0; B < 4; ++B)
+        M[At + B] = static_cast<char>((V >> (8 * B)) & 0xFF);
+      break;
+    }
+    case 3: { // Version skew: any version but the current one.
+      What = "version skew";
+      uint32_t V = 2 + static_cast<uint32_t>(Rng() % 1000);
+      for (int B = 0; B < 4; ++B)
+        M[8 + B] = static_cast<char>((V >> (8 * B)) & 0xFF);
+      break;
+    }
+    }
+    if (M == Bytes)
+      continue; // Mutation was a no-op (flip landed on the same bit twice).
+    ++T.Mutations;
+    auto R = interp::deserializeCheckpoints(M, *Prog, Hash, MaxSteps);
+    if (!R) {
+      ++T.Rejected;
+    } else if (sameSnapshots(Snaps, *R)) {
+      ++T.Harmless;
+    } else {
+      std::printf("seed %llu trial %d: LOADER ACCEPTED CORRUPTED CACHE "
+                  "(%s, %zu -> %zu bytes)\n",
+                  static_cast<unsigned long long>(Seed), Trial, What,
+                  Bytes.size(), M.size());
+      ++T.Failures;
+      Ok = false;
+    }
+  }
+  if (Verbose)
+    std::printf("seed %llu: ok (%zu snapshots, %zu bytes)\n",
+                static_cast<unsigned long long>(Seed), Snaps.size(),
+                Bytes.size());
+  return Ok;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   size_t Seeds = 50;
   uint64_t Start = 1;
   bool Verbose = false;
+  std::string Mode = "pipeline";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--seeds") == 0 && I + 1 < Argc)
       Seeds = std::strtoull(Argv[++I], nullptr, 10);
@@ -115,14 +276,33 @@ int main(int Argc, char **Argv) {
       Start = std::strtoull(Argv[++I], nullptr, 10);
     else if (std::strcmp(Argv[I], "--verbose") == 0)
       Verbose = true;
+    else if (std::strncmp(Argv[I], "--fuzz=", 7) == 0)
+      Mode = Argv[I] + 7;
     else {
-      std::fprintf(stderr,
-                   "usage: eoe-fuzz [--seeds N] [--start S] [--verbose]\n");
+      std::fprintf(stderr, "usage: eoe-fuzz [--fuzz=pipeline|diskstore] "
+                           "[--seeds N] [--start S] [--verbose]\n");
       return 2;
     }
   }
 
   Timer Clock;
+  if (Mode == "diskstore") {
+    DiskTally T;
+    for (uint64_t Seed = Start; Seed < Start + Seeds; ++Seed)
+      runDiskstoreSeed(Seed, Verbose, T);
+    std::printf("diskstore-fuzzed %zu programs in %s s: %zu snapshots, "
+                "%zu mutations (%zu rejected, %zu harmless), %zu "
+                "violations\n",
+                T.Generated, formatDouble(Clock.seconds(), 2).c_str(),
+                T.Snapshots, T.Mutations, T.Rejected, T.Harmless,
+                T.Failures);
+    return T.Failures == 0 ? 0 : 1;
+  }
+  if (Mode != "pipeline") {
+    std::fprintf(stderr, "error: unknown --fuzz mode '%s'\n", Mode.c_str());
+    return 2;
+  }
+
   Tally T;
   for (uint64_t Seed = Start; Seed < Start + Seeds; ++Seed)
     runSeed(Seed, Verbose, T);

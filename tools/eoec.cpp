@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/DebugSession.h"
+#include "interp/CheckpointDiskStore.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
 #include "support/Diagnostic.h"
@@ -54,6 +55,7 @@ struct CliOptions {
   size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
   bool CheckpointDelta = true;
   bool CheckpointShare = true;
+  std::string CheckpointDir;
   uint32_t Line = 0;
   uint32_t Instance = 1;
   uint32_t RootLine = 0;
@@ -110,6 +112,12 @@ void usage() {
       "  --checkpoint-share=on|off\n"
       "                        promote input-independent snapshots into a\n"
       "                        cross-session store (default on)\n"
+      "  --checkpoint-dir=DIR  persistent checkpoint cache (locate): load\n"
+      "                        input-independent snapshots for this\n"
+      "                        program from DIR on start and write them\n"
+      "                        back atomically on exit, warm-starting\n"
+      "                        later invocations (requires\n"
+      "                        --checkpoint-share=on)\n"
       "  --no-trace            run without dependence tracing (run)\n"
       "  --stats[=json]        per-phase pipeline statistics: a table on\n"
       "                        stderr, or =json for schema eoe-stats-v1\n"
@@ -202,6 +210,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--checkpoint-share=", 0) == 0) {
       Opts.CheckpointShare =
           Arg.substr(std::strlen("--checkpoint-share=")) != "off";
+    } else if (Arg.rfind("--checkpoint-dir=", 0) == 0) {
+      Opts.CheckpointDir = Arg.substr(std::strlen("--checkpoint-dir="));
+    } else if (Arg == "--checkpoint-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CheckpointDir = V;
     } else if (Arg.rfind("--checkpoint-mem=", 0) == 0) {
       Opts.CheckpointMemBytes =
           std::strtoull(Arg.c_str() + std::strlen("--checkpoint-mem="),
@@ -438,6 +453,7 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   Config.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
   Config.Locate.CheckpointDelta = Opts.CheckpointDelta;
   Config.Locate.CheckpointShare = Opts.CheckpointShare;
+  Config.Locate.CheckpointDir = Opts.CheckpointDir;
   Config.Stats = Opts.StatsReg;
   Config.Tracer = Opts.Tracer;
   // One CLI invocation is one session, but wiring the store keeps the
@@ -452,6 +468,15 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   }
   CliOracle Oracle(Root);
   core::LocateReport R = Session.locate(Oracle);
+  // Write-on-exit half of the warm start: persist whatever this session
+  // loaded plus newly promoted under the same (program, budget) key the
+  // session loaded with. Atomic (temp file + rename); best-effort.
+  if (!Opts.CheckpointDir.empty() && Opts.CheckpointShare) {
+    interp::CheckpointDiskStore Disk(Opts.CheckpointDir);
+    if (!Disk.save(Shared, Prog, Config.Locate.MaxSteps, Opts.StatsReg))
+      std::fprintf(stderr, "warning: could not write checkpoint cache in %s\n",
+                   Opts.CheckpointDir.c_str());
+  }
   std::printf("located: %s\n", R.RootCauseFound ? "yes" : "no");
   std::printf("iterations=%zu verifications=%zu re-executions=%zu "
               "edges=%zu (%zu strong)\n",
