@@ -25,8 +25,17 @@
 // least 4x more raw snapshot bytes per encoded byte (the effective-
 // capacity claim of docs/checkpointing.md).
 //
-// Emits machine-readable results to BENCH_checkpoint.json and
-// BENCH_checkpoint_compress.json.
+// A third phase measures the switched-run snapshot cache
+// (interp::SwitchedRunStore): two locate sessions over one store with a
+// seal() between them, {cache off, on} x {1, 4 threads}. The second
+// session's switched runs must resume from divergence-keyed snapshots
+// staged by the first, and the deterministic work counter
+// verify.ckpt.switched_interpreted_steps must drop by >= 1.5x total
+// across the two sessions versus cache off -- a pure counter
+// comparison, asserted on any machine; wall clock is reported only.
+//
+// Emits machine-readable results to BENCH_checkpoint.json,
+// BENCH_checkpoint_compress.json, and BENCH_switchedrun.json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -198,6 +207,85 @@ struct SweepResult {
   double hitRate() const {
     uint64_t Total = Hits + Misses;
     return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0;
+  }
+};
+
+// ---- Switched-run cache subject --------------------------------------
+//
+// Same shape as the main subject (heavy crc prefix, then the candidate
+// guards) plus a moderate tail loop *after* the guards: a switched run
+// interprets the guards and the whole tail, so divergence-keyed
+// snapshots captured in the tail during session 1 let session 2 resume
+// past most of it. The tail is sized to what MaxSnapshots x spacing can
+// cover, which is what makes the interpreted-step reduction a stable,
+// machine-independent counter ratio.
+
+constexpr int SwGuards = 10;
+constexpr int SwRootGuard = 4;
+constexpr int SwIters = 6000;
+constexpr int SwTailIters = 6000;
+constexpr uint32_t SwRootLine = 2 + SwRootGuard;
+/// Each staged bundle retains the capturing run's trace up to its
+/// deepest snapshot (the resume splice source), so per-guard bundles
+/// here run a few MB each; an explicit generous budget keeps the grid
+/// measuring resume work, not admission pressure (the byte-capped
+/// admission path is covered by ParallelDeterminismTest and the unit
+/// tests).
+constexpr size_t SwCacheBytes = 256ull << 20;
+/// A deliberately tight budget for the capped rows: admits only a
+/// couple of bundles at seal, so the grid also proves that a dropping
+/// cache changes work counters but never the locate outcome.
+constexpr size_t SwCappedBytes = 8ull << 20;
+
+const char *swCacheName(size_t CacheBytes) {
+  if (CacheBytes == 0)
+    return "off";
+  return CacheBytes == SwCappedBytes ? "capped" : "on";
+}
+
+std::string switchedSubject(bool Fixed) {
+  std::string Src = "fn main() {\n";                            // line 1
+  for (int G = 0; G < SwGuards; ++G)                            // 2..11
+    Src += "var c" + std::to_string(G) + " = " +
+           ((Fixed && G == SwRootGuard) ? "1" : "0") + ";\n";
+  Src += "var flags = 0;\n"
+         "var i = 0;\n"
+         "var crc = 0;\n"
+         "while (i < " + std::to_string(SwIters) + ") {\n"
+         "crc = (crc * 31 + (i % 7) * (i % 11) + 13) % 65521;\n"
+         "i = i + 1;\n"
+         "}\n";
+  for (int G = 0; G < SwGuards; ++G)
+    Src += "if (c" + std::to_string(G) + ") {\n" +
+           "flags = flags + " + std::to_string(1 << G) + ";\n" +
+           "}\n";
+  Src += "var t = 0;\n"
+         "var acc = 0;\n"
+         "while (t < " + std::to_string(SwTailIters) + ") {\n"
+         "acc = (acc * 13 + t) % 4093;\n"
+         "t = t + 1;\n"
+         "}\n"
+         "print(crc);\n"
+         "print(acc);\n"
+         "print(flags);\n"
+         "}\n";
+  return Src;
+}
+
+struct SwitchedRow {
+  unsigned Threads = 0;
+  size_t CacheBytes = 0;
+  double LocateMs = 0; ///< Both sessions, min over reps.
+  uint64_t Pass1Interpreted = 0;
+  uint64_t Pass2Interpreted = 0;
+  uint64_t Hits = 0;
+  uint64_t Promotions = 0;
+  uint64_t Probes = 0;
+  uint64_t SplicedSuffix = 0;
+  RunResult Pass1, Pass2; ///< Outcomes for the determinism check.
+
+  uint64_t totalInterpreted() const {
+    return Pass1Interpreted + Pass2Interpreted;
   }
 };
 
@@ -620,6 +708,215 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "could not write %s\n", SweepJsonPath);
   }
 
+  // ---- Phase 3: switched-run snapshot cache grid ---------------------
+
+  bench::banner("Switched-run snapshot cache: two locate sessions around a "
+                "seal, cache {off, capped, on} x {1, 4 threads} "
+                "(bit-identical results required; >= 1.5x interpreted-step "
+                "reduction required for the uncapped rows)");
+
+  auto SwFixed = lang::parseAndCheck(switchedSubject(/*Fixed=*/true), Diags);
+  auto SwFaulty = lang::parseAndCheck(switchedSubject(/*Fixed=*/false), Diags);
+  if (!SwFixed || !SwFaulty) {
+    std::fprintf(stderr, "switched parse error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  analysis::StaticAnalysis SwFixedSA(*SwFixed);
+  interp::Interpreter SwFixedInterp(*SwFixed, SwFixedSA);
+  std::vector<int64_t> SwExpected = SwFixedInterp.run({}).outputValues();
+  StmtId SwRoot = SwFaulty->statementAtLine(SwRootLine);
+  if (!isValidId(SwRoot)) {
+    std::fprintf(stderr, "no statement at switched root line %u\n", SwRootLine);
+    return 1;
+  }
+
+  std::vector<SwitchedRow> SwRows;
+  for (unsigned Threads : {1u, 4u}) {
+    for (size_t CacheBytes : {size_t(0), SwCappedBytes, SwCacheBytes}) {
+      const int Reps = Threads == 1 ? 3 : 1;
+      SwitchedRow Row;
+      Row.Threads = Threads;
+      Row.CacheBytes = CacheBytes;
+      for (int Rep = 0; Rep < Reps; ++Rep) {
+        // Fresh store per rep: session 1 stages cold, seal() makes the
+        // bundles visible, session 2 resumes from them.
+        interp::SwitchedRunStore SwStore(CacheBytes ? CacheBytes : 1);
+        Timer GridTimer;
+        RunResult Passes[2];
+        uint64_t Interpreted[2] = {0, 0};
+        uint64_t Hits = 0, Promotions = 0, Probes = 0, Spliced = 0;
+        for (int Pass = 0; Pass < 2; ++Pass) {
+          support::StatsRegistry Stats;
+          DebugSession::Config C;
+          C.Threads = Threads;
+          C.Locate.Checkpoints = 1;
+          C.Stats = &Stats;
+          // Explicitly zero in the off rows: the config default is on,
+          // and even a store-less session would otherwise still build
+          // the reconvergence plan and probe.
+          C.Locate.SwitchedCacheBytes = CacheBytes;
+          if (CacheBytes > 0)
+            C.SwitchedRuns = &SwStore;
+          DebugSession Session(*SwFaulty, {}, SwExpected, {}, C);
+          if (!Session.hasFailure()) {
+            std::fprintf(stderr, "switched fault did not reproduce\n");
+            return 1;
+          }
+          RootOnlyOracle Oracle(SwRoot);
+          Passes[Pass].Report = Session.locate(Oracle);
+          Passes[Pass].Edges = Session.graph().implicitEdges();
+          if (!Passes[Pass].Report.RootCauseFound) {
+            std::fprintf(stderr,
+                         "switched root cause not found (threads=%u pass=%d)\n",
+                         Threads, Pass + 1);
+            return 1;
+          }
+          Interpreted[Pass] =
+              Stats.counter("verify.ckpt.switched_interpreted_steps").get();
+          Hits += Stats.counter("verify.ckpt.switched_hits").get();
+          Promotions += Stats.counter("verify.ckpt.switched_promotions").get();
+          Probes +=
+              Stats.counter("verify.ckpt.switched_reconverge_probes").get();
+          Spliced +=
+              Stats.counter("verify.ckpt.switched_spliced_suffix_steps").get();
+          if (Pass == 0 && CacheBytes > 0)
+            SwStore.seal();
+        }
+        double Ms = GridTimer.seconds() * 1000;
+        if (Rep > 0 && Ms >= Row.LocateMs)
+          continue;
+        Row.LocateMs = Ms;
+        Row.Pass1 = std::move(Passes[0]);
+        Row.Pass2 = std::move(Passes[1]);
+        Row.Pass1Interpreted = Interpreted[0];
+        Row.Pass2Interpreted = Interpreted[1];
+        Row.Hits = Hits;
+        Row.Promotions = Promotions;
+        Row.Probes = Probes;
+        Row.SplicedSuffix = Spliced;
+      }
+      SwRows.push_back(std::move(Row));
+    }
+  }
+
+  // Determinism: both passes of every row must match the serial
+  // cache-off reference, and the cache's work counters must not depend
+  // on the thread count.
+  const SwitchedRow &SwBaseline = SwRows.front(); // threads=1, cache off
+  bool SwIdentical = true;
+  for (const SwitchedRow &Row : SwRows)
+    SwIdentical = SwIdentical && sameOutcome(SwBaseline.Pass1, Row.Pass1) &&
+                  sameOutcome(SwBaseline.Pass1, Row.Pass2);
+  bool SwCountersStable = true;
+  for (const SwitchedRow &A : SwRows)
+    for (const SwitchedRow &B : SwRows)
+      if (A.CacheBytes == B.CacheBytes &&
+          (A.Hits != B.Hits || A.Promotions != B.Promotions ||
+           A.totalInterpreted() != B.totalInterpreted() ||
+           A.SplicedSuffix != B.SplicedSuffix))
+        SwCountersStable = false;
+
+  // The acceptance ratio: interpreted switched-run steps, cache on vs
+  // off, summed over both sessions at the same thread count. The capped
+  // rows only have to stay bit-identical — a dropping cache may admit
+  // too few bundles to hit the ratio.
+  double Reduction1 = 0, Reduction4 = 0;
+  bool SwHitsOk = true;
+  for (const SwitchedRow &Row : SwRows) {
+    if (Row.CacheBytes != SwCacheBytes)
+      continue;
+    const SwitchedRow *Off = nullptr;
+    for (const SwitchedRow &O : SwRows)
+      if (O.Threads == Row.Threads && O.CacheBytes == 0)
+        Off = &O;
+    double R = Row.totalInterpreted()
+                   ? static_cast<double>(Off->totalInterpreted()) /
+                         static_cast<double>(Row.totalInterpreted())
+                   : 0;
+    (Row.Threads == 1 ? Reduction1 : Reduction4) = R;
+    SwHitsOk = SwHitsOk && Row.Hits > 0 && Row.Promotions > 0;
+  }
+  const bool ReductionOk = Reduction1 >= 1.5 && Reduction4 >= 1.5;
+
+  Table SwT({"threads", "cache", "locate 2x (ms)", "interp steps p1",
+             "interp steps p2", "reduction", "hits", "promotions", "probes",
+             "spliced", "identical"});
+  for (const SwitchedRow &Row : SwRows) {
+    const SwitchedRow *Off = nullptr;
+    for (const SwitchedRow &O : SwRows)
+      if (O.Threads == Row.Threads && O.CacheBytes == 0)
+        Off = &O;
+    double R = Row.totalInterpreted()
+                   ? static_cast<double>(Off->totalInterpreted()) /
+                         static_cast<double>(Row.totalInterpreted())
+                   : 0;
+    SwT.addRow({std::to_string(Row.Threads),
+                swCacheName(Row.CacheBytes), formatDouble(Row.LocateMs, 2),
+                std::to_string(Row.Pass1Interpreted),
+                std::to_string(Row.Pass2Interpreted), formatDouble(R, 2),
+                std::to_string(Row.Hits), std::to_string(Row.Promotions),
+                std::to_string(Row.Probes), std::to_string(Row.SplicedSuffix),
+                sameOutcome(SwBaseline.Pass1, Row.Pass2) ? "yes" : "NO"});
+  }
+  std::printf("%s", SwT.str().c_str());
+  std::printf("\nswitched subject: %d guards past a %d-iteration crc prefix, "
+              "%d-iteration tail after the guards\n",
+              SwGuards, SwIters, SwTailIters);
+  std::printf("interpreted-step reduction (cache on vs off, both sessions): "
+              "%sx at 1 thread, %sx at 4 threads (required >= 1.5x): %s\n",
+              formatDouble(Reduction1, 2).c_str(),
+              formatDouble(Reduction4, 2).c_str(),
+              ReductionOk ? "PASS" : "FAIL");
+  std::printf("switched-run determinism (cache off/capped/on, 1/4 threads, "
+              "both sessions): %s\n",
+              SwIdentical ? "BIT-IDENTICAL" : "MISMATCH (bug!)");
+  std::printf("cache work counters thread-count invariant: %s\n",
+              SwCountersStable ? "yes" : "NO (bug!)");
+
+  const char *SwJsonPath = "BENCH_switchedrun.json";
+  if (std::FILE *F = std::fopen(SwJsonPath, "w")) {
+    std::fprintf(F, "{\n");
+    std::fprintf(F, "  \"bench\": \"bench_switchedrun\",\n");
+    std::fprintf(F,
+                 "  \"subject\": {\"guards\": %d, \"prefix_iters\": %d, "
+                 "\"tail_iters\": %d},\n",
+                 SwGuards, SwIters, SwTailIters);
+    std::fprintf(F, "  \"rows\": [\n");
+    for (size_t I = 0; I < SwRows.size(); ++I) {
+      const SwitchedRow &Row = SwRows[I];
+      std::fprintf(
+          F,
+          "    {\"threads\": %u, \"cache\": \"%s\", \"cache_mb\": %llu, "
+          "\"locate_ms\": %.3f, "
+          "\"interpreted_steps_pass1\": %llu, "
+          "\"interpreted_steps_pass2\": %llu, \"hits\": %llu, "
+          "\"promotions\": %llu, \"reconverge_probes\": %llu, "
+          "\"spliced_suffix_steps\": %llu, \"identical_to_baseline\": %s}%s\n",
+          Row.Threads, swCacheName(Row.CacheBytes),
+          static_cast<unsigned long long>(Row.CacheBytes >> 20), Row.LocateMs,
+          static_cast<unsigned long long>(Row.Pass1Interpreted),
+          static_cast<unsigned long long>(Row.Pass2Interpreted),
+          static_cast<unsigned long long>(Row.Hits),
+          static_cast<unsigned long long>(Row.Promotions),
+          static_cast<unsigned long long>(Row.Probes),
+          static_cast<unsigned long long>(Row.SplicedSuffix),
+          sameOutcome(SwBaseline.Pass1, Row.Pass2) ? "true" : "false",
+          I + 1 < SwRows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"reduction_1t\": %.3f,\n", Reduction1);
+    std::fprintf(F, "  \"reduction_4t\": %.3f,\n", Reduction4);
+    std::fprintf(F, "  \"reduction_check\": \"%s\",\n",
+                 ReductionOk ? "pass" : "fail");
+    std::fprintf(F, "  \"deterministic\": %s\n",
+                 SwIdentical && SwCountersStable ? "true" : "false");
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", SwJsonPath);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", SwJsonPath);
+  }
+
   // Persist the shared store for the next invocation: one cache file per
   // subject, keyed the way the sessions load (default LocateConfig step
   // budget).
@@ -647,6 +944,8 @@ int main(int Argc, char **Argv) {
   if (!WorkOk)
     return 1;
   if (!RatioOk)
+    return 1;
+  if (!SwIdentical || !SwCountersStable || !ReductionOk || !SwHitsOk)
     return 1;
   return 0;
 }

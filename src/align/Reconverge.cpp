@@ -1,0 +1,94 @@
+//===-- align/Reconverge.cpp - Reconvergence probe sites ----------------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Reconverge.h"
+
+#include <algorithm>
+
+using namespace eoe;
+using namespace eoe::align;
+using namespace eoe::interp;
+
+static void setBit(std::vector<uint64_t> &Bits, uint64_t I) {
+  Bits[I >> 6] |= 1ull << (I & 63);
+}
+
+ReconvergePlan eoe::align::buildReconvergePlan(
+    const ExecutionTrace &E, const RegionTree &Tree,
+    std::vector<std::shared_ptr<const Checkpoint>> Snapshots) {
+  ReconvergePlan Plan;
+  Plan.Original = &E;
+  if (E.Exit != ExitReason::Finished || Snapshots.empty())
+    return Plan;
+
+  // Keep only snapshots that are genuinely sites of E, ascending, and
+  // thin evenly to the cap (the plan pins decoded snapshots in memory).
+  std::sort(Snapshots.begin(), Snapshots.end(),
+            [](const auto &A, const auto &B) { return A->Index < B->Index; });
+  Snapshots.erase(std::remove_if(Snapshots.begin(), Snapshots.end(),
+                                 [&](const auto &CP) {
+                                   return !CP || CP->Index >= E.size() ||
+                                          !CP->Divergence.empty();
+                                 }),
+                  Snapshots.end());
+  if (Snapshots.empty())
+    return Plan;
+  if (Snapshots.size() > MaxReconvergeSites) {
+    std::vector<std::shared_ptr<const Checkpoint>> Thinned;
+    size_t Stride =
+        (Snapshots.size() + MaxReconvergeSites - 1) / MaxReconvergeSites;
+    for (size_t I = 0; I < Snapshots.size(); I += Stride)
+      Thinned.push_back(Snapshots[I]);
+    Snapshots.swap(Thinned);
+  }
+
+  // Mask dimensions come from the snapshots themselves (InstCount is
+  // sized to the statement count, GlobalMem to the global frame).
+  size_t StmtCount = 0, SlotCount = 0;
+  for (const auto &CP : Snapshots) {
+    StmtCount = std::max(StmtCount, CP->InstCount.size());
+    SlotCount = std::max(SlotCount, CP->GlobalMem.size());
+  }
+  size_t StmtWords = (StmtCount + 63) / 64;
+  size_t SlotWords = (SlotCount + 63) / 64;
+
+  // One backward sweep over E accumulates, for every probe site, which
+  // statements execute in the suffix [CP->Index, end) and which global
+  // slots the suffix reads. Both masks only grow as the sweep moves
+  // earlier, so a site's masks are snapshotted the moment the sweep
+  // passes its index. No write-kill tracking: a slot written before its
+  // first suffix read is still marked when read later, which only makes
+  // the probe stricter, never unsound.
+  std::vector<uint64_t> Stmts(StmtWords, 0), Reads(SlotWords, 0);
+  Plan.Sites.resize(Snapshots.size());
+  size_t Next = Snapshots.size(); // Sites with Index > I, processed count.
+  for (size_t I = E.size(); I-- > 0;) {
+    const StepRecord &R = E.Steps[I];
+    if (R.Stmt < StmtCount)
+      setBit(Stmts, R.Stmt);
+    for (const UseRecord &U : R.Uses)
+      if (U.Loc.isGlobal() && U.Loc.slot() < SlotCount)
+        setBit(Reads, U.Loc.slot());
+    while (Next > 0 && Snapshots[Next - 1]->Index == I) {
+      --Next;
+      ReconvergeSite &Site = Plan.Sites[Next];
+      Site.CP = Snapshots[Next];
+      Site.Stmt = R.Stmt;
+      Site.InstanceNo = R.InstanceNo;
+      Site.CdParent = Tree.parent(I);
+      Site.RegionDepth = static_cast<uint32_t>(Tree.depth(I));
+      Site.SuffixStmts = Stmts;
+      Site.SuffixReads = Reads;
+    }
+  }
+  // Sites the sweep never reached (defensive: duplicate indices) get no
+  // checkpoint; drop them.
+  Plan.Sites.erase(std::remove_if(Plan.Sites.begin(), Plan.Sites.end(),
+                                  [](const ReconvergeSite &S) { return !S.CP; }),
+                   Plan.Sites.end());
+  return Plan;
+}

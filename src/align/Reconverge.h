@@ -1,0 +1,54 @@
+//===-- align/Reconverge.h - Reconvergence probe sites -----------*- C++ -*-===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the interp::ReconvergePlan a switched run probes against: for
+/// each retained original-run checkpoint, the site's region identity in
+/// the original RegionTree (the paper's Definition 3 region forest) and
+/// the relaxed state footprint of the original trace's suffix from
+/// there. The footprints are what make the probe fire in practice: a
+/// switched run re-enters the original control flow with *some* state
+/// divergence left behind (instance counters of statements confined to
+/// the switched region, globals the suffix never reads); requiring
+/// equality only on what the suffix can observe keeps the comparison
+/// exact where it matters and permissive where it cannot.
+///
+/// Soundness: if the probe's checks pass, every statement the suffix
+/// executes reads only state the comparison proved equal, so by
+/// induction over the remaining steps the continuation is identical to
+/// the original run's -- splicing the original suffix is byte-for-byte
+/// what full interpretation would have produced (see
+/// docs/checkpointing.md, "Switched-run reuse").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EOE_ALIGN_RECONVERGE_H
+#define EOE_ALIGN_RECONVERGE_H
+
+#include "align/RegionTree.h"
+#include "interp/SwitchedRunStore.h"
+
+#include <memory>
+#include <vector>
+
+namespace eoe {
+namespace align {
+
+/// Builds the probe plan for \p E from the original run's retained
+/// snapshots. Snapshots must come from a collection pass over \p E
+/// (ascending by Index, Divergence empty); \p Tree must be E's
+/// RegionTree. Sites are thinned evenly to interp::MaxReconvergeSites.
+/// Returns an empty plan (no sites) when \p E did not finish normally --
+/// splicing the suffix of an aborted trace would also splice its abort.
+interp::ReconvergePlan buildReconvergePlan(
+    const interp::ExecutionTrace &E, const RegionTree &Tree,
+    std::vector<std::shared_ptr<const interp::Checkpoint>> Snapshots);
+
+} // namespace align
+} // namespace eoe
+
+#endif // EOE_ALIGN_RECONVERGE_H

@@ -84,6 +84,11 @@ DebugSession::DebugSession(const lang::Program &Prog,
     VC.CheckpointShare = C.SharedCheckpoints;
     VC.CheckpointShareProgram = &Prog;
   }
+  VC.SwitchedCacheBytes = C.Locate.SwitchedCacheBytes;
+  if (C.SwitchedRuns) {
+    VC.SwitchedRuns = C.SwitchedRuns;
+    VC.SwitchedProgram = &Prog;
+  }
   VC.Stats = C.Stats;
   VC.Tracer = C.Tracer;
   Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,

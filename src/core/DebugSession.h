@@ -67,6 +67,13 @@ public:
     /// session using it; the owner is whoever runs multiple sessions over
     /// one program (FaultRunner, a bench, the CLI).
     interp::SharedCheckpointStore *SharedCheckpoints = nullptr;
+    /// Switched-run snapshot cache: when set (and
+    /// Locate.SwitchedCacheBytes > 0), switched runs stage divergence-
+    /// keyed snapshot bundles here and later sessions over the same
+    /// (program, input, budget) resume from them. Same ownership rules as
+    /// SharedCheckpoints; the owner must seal() the store between
+    /// sessions for staged bundles to become visible.
+    interp::SwitchedRunStore *SwitchedRuns = nullptr;
     /// Algorithm 2 tunables.
     LocateConfig Locate;
   };

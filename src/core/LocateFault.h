@@ -83,6 +83,14 @@ struct LocateConfig {
   /// seed from it (wired by DebugSession when its config carries a
   /// SharedCheckpointStore).
   bool CheckpointShare = true;
+  /// Switched-run snapshot cache byte budget (docs/checkpointing.md,
+  /// "Switched-run reuse"): switched runs keep checkpointing past the
+  /// switch point (divergence-keyed snapshots, staged into the
+  /// SwitchedRunStore the session owner wires through DebugSession) and
+  /// probe the original run's snapshots to splice reconvergent suffixes.
+  /// 0 turns both mechanisms off (the reference behavior); any value is
+  /// bit-identical, it only trades memory for interpreted steps.
+  size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
   /// Persistent checkpoint cache directory (docs/checkpointing.md,
   /// "The on-disk cache"). When non-empty and CheckpointShare is on,
   /// DebugSession seeds the shared store from the cache file keyed by

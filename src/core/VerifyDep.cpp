@@ -7,6 +7,8 @@
 
 #include "core/VerifyDep.h"
 
+#include "align/Reconverge.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -60,6 +62,14 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
   CCkptSharedHits = &Reg->counter("verify.ckpt.shared_hits");
   CCkptAutoStride = &Reg->counter("verify.ckpt.auto_stride");
   CCkptDiskHits = &Reg->counter("verify.ckpt.disk_hits");
+  // Switched-run reuse. interpreted_steps is recorded unconditionally
+  // (cache off included), so the bench's work-count comparison reads the
+  // same key on both sides.
+  CSwHits = &Reg->counter("verify.ckpt.switched_hits");
+  CSwPromotions = &Reg->counter("verify.ckpt.switched_promotions");
+  CSwSplicedSuffix = &Reg->counter("verify.ckpt.switched_spliced_suffix_steps");
+  CSwProbes = &Reg->counter("verify.ckpt.switched_reconverge_probes");
+  CSwInterpreted = &Reg->counter("verify.ckpt.switched_interpreted_steps");
   // Registered eagerly (the disk store bumps them through the registry by
   // name) so --stats always shows the full verify.ckpt.* key set and the
   // determinism allowlist can assert them at any thread count.
@@ -136,13 +146,47 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
       CCkptMisses->add();
     }
   }
+
+  // Switched-run reuse (published by maybeCollectCheckpoints). A
+  // divergence-keyed snapshot wins over the plain prefix snapshot only
+  // when strictly deeper; its splice source is then the capturing
+  // *switched* run's trimmed trace, not E.
+  SwitchedReuse *SR = SwitchedPub.load(std::memory_order_acquire);
+  std::vector<SwitchDecision> DivKey{
+      {P.Stmt, P.InstanceNo, /*Perturb=*/false, /*Value=*/0}};
+  std::shared_ptr<const ExecutionTrace> SwPrefix;
+  if (SR && SR->StoreOn) {
+    if (std::optional<SwitchedRunStore::Hit> H =
+            C.SwitchedRuns->lookup(SR->Key, DivKey)) {
+      if (!CP || H->CP->Index > CP->Index) {
+        CP = H->CP;
+        SwPrefix = H->Prefix;
+        CSwHits->add();
+      }
+    }
+  }
+  SwitchedCapturePlan Capture;
+  const bool DoCapture = SR && SR->StoreOn && !SwPrefix;
+  if (SR) {
+    Opts.Reconverge = &SR->Plan;
+    if (DoCapture) {
+      // Scale the capture spacing down for short traces (a pure function
+      // of E, so every thread computes the same plan): the default 2048
+      // would never fire on a trace a few hundred steps long.
+      Capture.SpacingSteps = std::min<uint64_t>(
+          Capture.SpacingSteps, std::max<uint64_t>(16, E.size() / 4));
+      Opts.SwitchedCapture = &Capture;
+    }
+  }
+
   {
     support::EventTracer::Span Reexec(C.Tracer, "reexec", "interp");
     support::ScopedTimer Timed(TReexec);
     ExecContextPool::Lease Ctx = Arena.acquire();
     if (CP) {
       support::ScopedTimer Restore(TCkptRestore);
-      Run.Trace = Interp.runFrom(*CP, E, Input, Opts, *Ctx);
+      Run.Trace = Interp.runFrom(*CP, SwPrefix ? *SwPrefix : E, Input, Opts,
+                                 *Ctx);
     } else {
       Run.Trace = Interp.run(Input, Opts, *Ctx);
     }
@@ -151,6 +195,40 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
   HReexecSteps->record(Run.Trace.size());
   if (Run.Trace.Exit != ExitReason::Finished)
     CReexecAborts->add();
+
+  // Work accounting: what this run actually interpreted, net of the
+  // spliced prefix and the spliced reconvergence suffix. Recorded with
+  // the cache off too, so the ratio between configurations is a pure
+  // counter comparison.
+  const TraceIdx PrefixLen = CP ? CP->Index : 0;
+  CSwInterpreted->add(Run.Trace.size() - PrefixLen - Run.Trace.SplicedSuffix);
+  if (SR) {
+    CSwProbes->add(Run.Trace.ReconvergeProbes);
+    CSwSplicedSuffix->add(Run.Trace.SplicedSuffix);
+  }
+
+  // Promote this run's divergence-keyed snapshots: trim the trace to the
+  // deepest snapshot (the part a resume can splice) and stage the bundle.
+  // Admission happens at the store's next seal(), in canonical order, so
+  // the sealed set does not depend on which run stages first.
+  if (DoCapture && !Capture.Captured.empty()) {
+    const std::shared_ptr<const Checkpoint> &Deep = Capture.Captured.back();
+    auto Prefix = std::make_shared<ExecutionTrace>();
+    Prefix->Steps.assign(Run.Trace.Steps.begin(),
+                         Run.Trace.Steps.begin() + Deep->Index);
+    Prefix->Outputs.assign(Run.Trace.Outputs.begin(),
+                           Run.Trace.Outputs.begin() + Deep->OutputCount);
+    Prefix->SwitchedStep = Run.Trace.SwitchedStep;
+    if (Run.Trace.FirstInputStep != InvalidId &&
+        Run.Trace.FirstInputStep < Deep->Index)
+      Prefix->FirstInputStep = Run.Trace.FirstInputStep;
+    SwitchedRunStore::Bundle B;
+    B.Key = DivKey;
+    B.Prefix = std::move(Prefix);
+    B.Snapshots = std::move(Capture.Captured);
+    C.SwitchedRuns->stage(SR->Key, std::move(B));
+    CSwPromotions->add();
+  }
   {
     support::EventTracer::Span Align(C.Tracer, "align", "align");
     std::call_once(OrigTreeOnce,
@@ -236,6 +314,33 @@ void ImplicitDepVerifier::maybeCollectCheckpoints(
     CCkptRawBytes->add(Ckpts->rawBytes());
     if (Plan.AutoStride)
       CCkptAutoStride->add(Plan.AutoStride);
+
+    // Switched-run reuse rides on the collected snapshots: the probe
+    // sites are the retained original-run checkpoints (decoded once,
+    // thinned to MaxReconvergeSites), and the store key binds staged
+    // bundles to this exact (program, input, budget). Published last via
+    // release store; concurrent switched runs either see all of it or
+    // run plain.
+    if (C.SwitchedCacheBytes > 0) {
+      std::call_once(OrigTreeOnce, [&] {
+        OrigTree = std::make_unique<align::RegionTree>(E);
+      });
+      auto SR = std::make_unique<SwitchedReuse>();
+      SR->Plan = align::buildReconvergePlan(E, *OrigTree,
+                                            Ckpts->sample(MaxReconvergeSites));
+      if (C.SwitchedRuns && C.SwitchedProgram) {
+        SR->StoreOn = true;
+        SR->Key.ProgramHash =
+            SharedCheckpointStore::hashProgram(*C.SwitchedProgram);
+        SR->Key.Program = C.SwitchedProgram;
+        SR->Key.InputHash = SwitchedRunStore::hashInput(Input);
+        SR->Key.MaxSteps = C.MaxSteps;
+      }
+      if (!SR->Plan.Sites.empty() || SR->StoreOn) {
+        Switched = std::move(SR);
+        SwitchedPub.store(Switched.get(), std::memory_order_release);
+      }
+    }
   });
 }
 

@@ -49,6 +49,7 @@
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -115,6 +116,30 @@ public:
     /// Program object this verifier's interpreter executes.
     interp::SharedCheckpointStore *CheckpointShare = nullptr;
     const lang::Program *CheckpointShareProgram = nullptr;
+    /// Switched-run reuse (docs/checkpointing.md, "Switched-run reuse").
+    /// Requires checkpointing (CheckpointStride != CheckpointsOff) and
+    /// SwitchedCacheBytes > 0. Two independent mechanisms share the same
+    /// plumbing:
+    ///  - Reconvergence suffix splicing: always on when enabled -- each
+    ///    switched run probes the original run's retained snapshots and,
+    ///    on reconvergence, splices the rest of the original trace
+    ///    instead of interpreting it.
+    ///  - Divergence-keyed snapshot promotion: when SwitchedRuns is also
+    ///    set (it must outlive the verifier, and SwitchedProgram must be
+    ///    the very Program this verifier's interpreter executes), runs
+    ///    past the switch point keep checkpointing, tagged with their
+    ///    divergence key, and stage the bundles into the store; a later
+    ///    session over the same (program, input, budget) resumes new
+    ///    switched runs from the deepest staged-and-sealed snapshot whose
+    ///    key prefixes the requested switch set.
+    /// Results are byte-identical with the cache on, off, or size-capped,
+    /// at any thread count.
+    interp::SwitchedRunStore *SwitchedRuns = nullptr;
+    const lang::Program *SwitchedProgram = nullptr;
+    /// 0 disables both mechanisms (the reference behavior). Budget
+    /// enforcement itself lives in the store; this knob only gates the
+    /// per-run capture/probe instrumentation.
+    size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
     /// External observability sinks. When Stats is null the verifier
     /// records into a private registry, so the distinct-key counters (and
     /// their accessors) work identically either way; when Tracer is null
@@ -244,6 +269,11 @@ private:
   support::StatCounter *CCkptSharedHits = nullptr;
   support::StatCounter *CCkptAutoStride = nullptr;
   support::StatCounter *CCkptDiskHits = nullptr;
+  support::StatCounter *CSwHits = nullptr;
+  support::StatCounter *CSwPromotions = nullptr;
+  support::StatCounter *CSwSplicedSuffix = nullptr;
+  support::StatCounter *CSwProbes = nullptr;
+  support::StatCounter *CSwInterpreted = nullptr;
   support::StatTimer *TReexec = nullptr;
   support::StatTimer *TCkptRestore = nullptr;
   support::StatTimer *TCkptCollect = nullptr;
@@ -272,6 +302,18 @@ private:
   /// aligner (it is identical across all switched runs).
   std::once_flag OrigTreeOnce;
   std::unique_ptr<align::RegionTree> OrigTree;
+
+  /// Switched-run reuse state, built at the end of the checkpoint
+  /// collection pass (it feeds on the collected snapshots) and published
+  /// to concurrent computeSwitchedRun calls via an acquire/release
+  /// pointer: a run either sees the complete state or none.
+  struct SwitchedReuse {
+    interp::ReconvergePlan Plan;
+    interp::SwitchedRunStore::ValidityKey Key;
+    bool StoreOn = false;
+  };
+  std::unique_ptr<SwitchedReuse> Switched;
+  std::atomic<SwitchedReuse *> SwitchedPub{nullptr};
 
   std::once_flag PoolOnce;
   std::unique_ptr<support::ThreadPool> Pool;

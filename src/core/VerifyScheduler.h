@@ -28,6 +28,13 @@
 /// docs/parallelism.md). With no pool configured the scheduler
 /// degenerates to the plain serial loop.
 ///
+/// Switched-run snapshot promotion (SwitchedRunStore) composes with the
+/// batching: each re-execution's snapshot bundle is only *staged* during
+/// the session, and the store's seal() between sessions admits staged
+/// bundles in a canonical order -- so the set a later batch can resume
+/// from is independent of the concurrent completion order here, keeping
+/// the cache-on path as thread-count-invariant as the cache-off path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EOE_CORE_VERIFYSCHEDULER_H

@@ -34,6 +34,7 @@ size_t Checkpoint::bytes() const {
     N += CF.Path.capacity() * sizeof(ResumeEntry);
     N += stepRecordBytes(CF.PendingSnapshot);
   }
+  N += Divergence.capacity() * sizeof(SwitchDecision);
   return N;
 }
 
@@ -65,6 +66,7 @@ size_t CheckpointDelta::bytes() const {
   N += GlobalMem.bytes() + GlobalLastDef.bytes() + InstCount.bytes();
   for (const CheckpointFrameDelta &FD : Frames)
     N += FD.bytes();
+  N += Divergence.capacity() * sizeof(SwitchDecision);
   return N;
 }
 
@@ -101,6 +103,7 @@ CheckpointDelta eoe::interp::encodeCheckpointDelta(const Checkpoint &Base,
   D.GlobalLastDef =
       ArrayDelta<TraceIdx>::diff(Base.GlobalLastDef, Cur.GlobalLastDef);
   D.InstCount = ArrayDelta<uint32_t>::diff(Base.InstCount, Cur.InstCount);
+  D.Divergence = Cur.Divergence;
   D.Frames.reserve(Cur.Frames.size());
   for (size_t I = 0; I < Cur.Frames.size(); ++I) {
     const CheckpointFrame &CF = Cur.Frames[I];
@@ -143,6 +146,7 @@ eoe::interp::applyCheckpointDelta(const Checkpoint &Base,
   D.GlobalMem.apply(Base.GlobalMem, CP->GlobalMem);
   D.GlobalLastDef.apply(Base.GlobalLastDef, CP->GlobalLastDef);
   D.InstCount.apply(Base.InstCount, CP->InstCount);
+  CP->Divergence = D.Divergence;
   CP->Frames.reserve(D.Frames.size());
   for (size_t I = 0; I < D.Frames.size(); ++I) {
     const CheckpointFrameDelta &FD = D.Frames[I];
@@ -300,6 +304,36 @@ std::shared_ptr<const Checkpoint> CheckpointStore::nearest(TraceIdx At) {
   return Cur;
 }
 
+std::vector<std::shared_ptr<const Checkpoint>>
+CheckpointStore::sample(size_t MaxCount) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::shared_ptr<const Checkpoint>> Out;
+  if (MaxCount == 0 || ByIndex.empty())
+    return Out;
+  // Pick <= MaxCount indices evenly by rank, then decode each the way
+  // nearest() does. ByIndex iterates ascending, so the result is too.
+  size_t N = ByIndex.size();
+  size_t Stride = (N + MaxCount - 1) / MaxCount;
+  size_t Rank = 0;
+  Out.reserve(N < MaxCount ? N : MaxCount);
+  for (const auto &[Idx, Where] : ByIndex) {
+    if (Rank++ % Stride != 0)
+      continue;
+    auto [SegId, Pos] = Where;
+    Segment &S = Segments.at(SegId);
+    S.LastUse = ++Tick;
+    if (!S.Chain[Pos].IsDelta) {
+      Out.push_back(S.Chain[Pos].Full);
+      continue;
+    }
+    std::shared_ptr<const Checkpoint> Cur = S.Chain[0].Full;
+    for (uint32_t I = 1; I <= Pos; ++I)
+      Cur = applyCheckpointDelta(*Cur, S.Chain[I].Delta);
+    Out.push_back(std::move(Cur));
+  }
+  return Out;
+}
+
 size_t CheckpointStore::count() const {
   std::lock_guard<std::mutex> Lock(M);
   return ByIndex.size();
@@ -337,7 +371,10 @@ size_t CheckpointStore::evictions() const {
 bool SharedCheckpointStore::promote(const std::shared_ptr<const Checkpoint> &CP,
                                     uint64_t ProgramHash, const void *Program,
                                     uint64_t MaxSteps, bool FromDisk) {
-  if (!CP || !CP->InputIndependent)
+  // Divergence-keyed snapshots (captured on switched runs) are only valid
+  // for runs repeating the same forced decisions -- never for the shared
+  // cross-input store, whose consumers run unswitched prefixes.
+  if (!CP || !CP->InputIndependent || !CP->Divergence.empty())
     return false;
   std::lock_guard<std::mutex> Lock(M);
   Key K{ProgramHash, Program, MaxSteps};

@@ -149,6 +149,13 @@ struct Checkpoint {
   std::vector<uint32_t> InstCount;
   /// Active frames, outermost (main) first.
   std::vector<CheckpointFrame> Frames;
+  /// Divergence key: the ordered forced alterations (switches /
+  /// perturbations) the capturing run had applied before this snapshot.
+  /// Empty for original-run snapshots. A snapshot with a non-empty key
+  /// only resumes runs whose requested decision sequence starts with it
+  /// (see SwitchedRunStore); such snapshots are never promoted into the
+  /// cross-input SharedCheckpointStore or the on-disk cache.
+  std::vector<SwitchDecision> Divergence;
 
   /// Approximate resident size, used against the store's LRU budget.
   size_t bytes() const;
@@ -242,6 +249,8 @@ struct CheckpointDelta {
   ArrayDelta<TraceIdx> GlobalLastDef;
   ArrayDelta<uint32_t> InstCount;
   std::vector<CheckpointFrameDelta> Frames;
+  /// Carried verbatim (short; switched-run chains share one key).
+  std::vector<SwitchDecision> Divergence;
 
   size_t bytes() const;
 };
@@ -296,6 +305,13 @@ public:
   /// -- the caller then falls back to full replay. Delta entries are
   /// decoded on the way out (at most KeyframeInterval - 1 applications).
   std::shared_ptr<const Checkpoint> nearest(TraceIdx At);
+
+  /// Up to \p MaxCount retained snapshots, decoded, ascending by trace
+  /// index, evenly thinned by rank when more are resident. Deterministic
+  /// for a deterministic insert sequence. Used to seed the reconvergence
+  /// probe sites of switched-run reuse (align::buildReconvergePlan)
+  /// without decoding -- and pinning -- the whole store.
+  std::vector<std::shared_ptr<const Checkpoint>> sample(size_t MaxCount);
 
   size_t count() const;
   /// Encoded bytes currently retained -- what the LRU budget is charged

@@ -759,3 +759,83 @@ bool CheckpointDiskStore::save(const SharedCheckpointStore &Shared,
                               Bytes.size());
   return true;
 }
+
+CheckpointDiskStore::SweepResult
+CheckpointDiskStore::sweep(uint64_t MaxBytes, std::chrono::seconds MaxTmpAge,
+                           support::StatsRegistry *Stats) {
+  namespace fs = std::filesystem;
+  SweepResult R;
+  std::error_code Ec;
+  fs::directory_iterator It(Dir, Ec), End;
+  if (Ec)
+    return R; // Missing or unreadable directory: nothing to cap.
+
+  struct Entry {
+    fs::path Path;
+    std::string Name;
+    uint64_t Size = 0;
+    fs::file_time_type MTime;
+  };
+  std::vector<Entry> Caches;
+  const fs::file_time_type Now = fs::file_time_type::clock::now();
+  auto Remove = [&](const fs::path &P, uint64_t Size) {
+    std::error_code RmEc;
+    if (!fs::remove(P, RmEc) || RmEc)
+      return; // Lost a race or lack permission: fine, best-effort.
+    ++R.Files;
+    R.Bytes += Size;
+  };
+
+  for (; It != End; It.increment(Ec)) {
+    if (Ec)
+      break;
+    std::error_code EntEc;
+    if (!It->is_regular_file(EntEc) || EntEc)
+      continue;
+    std::string Name = It->path().filename().string();
+    const bool IsTmp = Name.ends_with(".eoeckpt.tmp");
+    const bool IsCache = !IsTmp && Name.starts_with("ckpt-") &&
+                         Name.ends_with(".eoeckpt");
+    if (!IsTmp && !IsCache)
+      continue; // Foreign file sharing the directory: never ours to touch.
+    uint64_t Size = It->file_size(EntEc);
+    if (EntEc)
+      continue;
+    fs::file_time_type MTime = It->last_write_time(EntEc);
+    if (EntEc)
+      continue;
+    if (IsTmp) {
+      // A live writer's temp is seconds old; only debris from crashed
+      // writers crosses the age threshold.
+      if (Now - MTime > MaxTmpAge)
+        Remove(It->path(), Size);
+      continue;
+    }
+    Caches.push_back({It->path(), std::move(Name), Size, MTime});
+  }
+
+  uint64_t Total = 0;
+  for (const Entry &E : Caches)
+    Total += E.Size;
+  if (Total > MaxBytes) {
+    // Oldest first; equal mtimes (coarse filesystems) break by name so
+    // every sweeper picks the same victims.
+    std::sort(Caches.begin(), Caches.end(), [](const Entry &A, const Entry &B) {
+      if (A.MTime != B.MTime)
+        return A.MTime < B.MTime;
+      return A.Name < B.Name;
+    });
+    for (const Entry &E : Caches) {
+      if (Total <= MaxBytes)
+        break;
+      Remove(E.Path, E.Size);
+      Total -= E.Size;
+    }
+  }
+
+  if (R.Files) {
+    support::StatsRegistry::add(Stats, "verify.ckpt.disk_sweep_files", R.Files);
+    support::StatsRegistry::add(Stats, "verify.ckpt.disk_sweep_bytes", R.Bytes);
+  }
+  return R;
+}

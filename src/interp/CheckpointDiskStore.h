@@ -45,6 +45,7 @@
 
 #include "interp/Checkpoint.h"
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -126,6 +127,26 @@ public:
   /// an I/O failure. Written bytes bump verify.ckpt.disk_write_bytes.
   bool save(const SharedCheckpointStore &Shared, const lang::Program &Prog,
             uint64_t MaxSteps, support::StatsRegistry *Stats = nullptr);
+
+  /// What one sweep() pass removed.
+  struct SweepResult {
+    size_t Files = 0;       ///< Cache + stale temp files deleted.
+    uint64_t Bytes = 0;     ///< Bytes those files held.
+  };
+
+  /// Caps the cache directory: first deletes stale writer temp files
+  /// ("*.eoeckpt.tmp" older than \p MaxTmpAge -- a live writer's temp is
+  /// younger than any sane age, so the write-temp-then-rename discipline
+  /// stays safe), then evicts cache files ("ckpt-*.eoeckpt")
+  /// oldest-mtime-first until the survivors total at most \p MaxBytes.
+  /// Only files matching those two patterns are ever touched; anything
+  /// else sharing the directory (a crowded /tmp) is left alone. Ties on
+  /// mtime break by file name so concurrent sweepers agree. Best-effort:
+  /// unreadable entries are skipped, never an error. Deletions bump
+  /// verify.ckpt.disk_sweep_files / verify.ckpt.disk_sweep_bytes.
+  SweepResult sweep(uint64_t MaxBytes,
+                    std::chrono::seconds MaxTmpAge = std::chrono::hours(1),
+                    support::StatsRegistry *Stats = nullptr);
 
 private:
   std::string Dir;

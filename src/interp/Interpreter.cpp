@@ -65,7 +65,12 @@ public:
         GlobalMem(Ctx.GlobalMem), GlobalLastDef(Ctx.GlobalLastDef),
         InstCount(Ctx.InstCount), Tracing(Opts.Trace),
         Collecting(Opts.Trace && Opts.Checkpoints && Opts.Checkpoints->Store &&
-                   !Opts.Checkpoints->Sites.empty()) {
+                   !Opts.Checkpoints->Sites.empty()),
+        Capturing(Opts.Trace && Opts.SwitchedCapture != nullptr),
+        Probing(Opts.Trace && Opts.Reconverge != nullptr &&
+                !Opts.Reconverge->Sites.empty()),
+        Mirror(Collecting || Capturing || Probing),
+        RequiredDecisions((Opts.Switch ? 1u : 0u) + (Opts.Perturb ? 1u : 0u)) {
     Ctx.beginRun(Prog.statements().size(), Prog.globalSlots());
     Trace.Steps.reserve(Ctx.stepsHint());
   }
@@ -74,10 +79,10 @@ public:
     initGlobals();
     if (Trace.Exit == ExitReason::Finished) {
       Frame Main = makeFrame(*Prog.function(Prog.mainFunction()), InvalidId);
-      if (Collecting)
+      if (Mirror)
         Cont.push_back({&Main, InvalidId, 0});
       Flow F = execBody(Prog.function(Prog.mainFunction())->body(), Main);
-      if (Collecting)
+      if (Mirror)
         Cont.pop_back();
       if (F == Flow::Return || F == Flow::Normal)
         Trace.ExitValue = Main.RetVal;
@@ -125,9 +130,21 @@ public:
     InputSeen = !CP.InputIndependent;
     if (From.FirstInputStep != InvalidId && From.FirstInputStep < CP.Index)
       Trace.FirstInputStep = From.FirstInputStep;
+    // Divergence-keyed resumes: the snapshot already applied these forced
+    // decisions (their instance counters have passed, so they cannot
+    // re-fire), and the capturing run's divergence record lies in the
+    // spliced prefix.
+    Applied.assign(CP.Divergence.begin(), CP.Divergence.end());
+    if (From.SwitchedStep != InvalidId && From.SwitchedStep < CP.Index)
+      Trace.SwitchedStep = From.SwitchedStep;
+    LastCaptureStep = StepCount;
 
     Frame Main = CP.Frames.front().State;
+    if (Mirror)
+      Cont.push_back({&Main, InvalidId, 0});
     Flow F = resumeFrame(CP, /*Level=*/0, Main);
+    if (Mirror)
+      Cont.pop_back();
     if (F == Flow::Return || F == Flow::Normal)
       Trace.ExitValue = Main.RetVal;
     Ctx.recycleFrame(std::move(Main));
@@ -156,6 +173,9 @@ private:
   uint64_t FrameCounter = 0;
   uint64_t StepCount = 0;
   bool Halted = false;
+  /// True once a reconvergence probe spliced the original suffix: the
+  /// halted statement was never executed, so it must not match a switch.
+  bool Spliced = false;
   bool Tracing;
 
   //===--------------------------------------------------------------------===//
@@ -175,6 +195,27 @@ private:
   };
 
   const bool Collecting;
+  /// Switched-run reuse (SwitchedRunStore.h): capture divergence-keyed
+  /// snapshots on this run / probe for reconvergence with the original
+  /// trace. Either implies the continuation mirror below is maintained.
+  const bool Capturing;
+  const bool Probing;
+  /// Maintain Cont/Path/DirtyCalls: any feature that needs to describe or
+  /// compare the live continuation.
+  const bool Mirror;
+  /// Forced alterations this run must apply (switch and/or perturbation);
+  /// probes and switched captures only engage once all have fired.
+  const unsigned RequiredDecisions;
+  /// The decisions applied so far, in order (the divergence key of any
+  /// snapshot captured now). Pre-seeded from Checkpoint::Divergence on
+  /// divergence-keyed resumes.
+  std::vector<SwitchDecision> Applied;
+  /// StepCount at the last applied decision or switched capture; paces
+  /// SwitchedCapturePlan::SpacingSteps.
+  uint64_t LastCaptureStep = 0;
+  /// Cursor into Opts.Reconverge->Sites (ascending by CP->Index), so the
+  /// per-step probe check is amortized O(1).
+  size_t RecCursor = 0;
   size_t NextSite = 0;
   /// Stride autotuning (CheckpointPlan::AutoBudgetBytes): chosen after
   /// the first successful capture, then applied by skipping
@@ -226,29 +267,7 @@ private:
     }
     assert(S->isPredicate() && "checkpoint sites must be predicate instances");
     (void)S;
-    auto CP = std::make_shared<Checkpoint>();
-    CP->Index = Here;
-    CP->InputCursor = InputCursor;
-    CP->StepCount = StepCount;
-    CP->FrameCounter = FrameCounter;
-    CP->OutputCount = Trace.Outputs.size();
-    CP->InputIndependent = !InputSeen;
-    CP->GlobalMem = GlobalMem;
-    CP->GlobalLastDef = GlobalLastDef;
-    CP->InstCount = InstCount;
-    CP->Frames.reserve(Cont.size());
-    for (size_t L = 0; L < Cont.size(); ++L) {
-      CheckpointFrame CF;
-      CF.State = *Cont[L].F;
-      size_t PathEnd =
-          L + 1 < Cont.size() ? Cont[L + 1].PathStart : Path.size();
-      CF.Path.assign(Path.begin() + Cont[L].PathStart, Path.begin() + PathEnd);
-      if (L + 1 < Cont.size()) {
-        CF.PendingRec = Cont[L + 1].PendingRec;
-        CF.PendingSnapshot = Trace.Steps[CF.PendingRec];
-      }
-      CP->Frames.push_back(std::move(CF));
-    }
+    std::shared_ptr<Checkpoint> CP = makeSnapshot();
     if (Plan.AutoBudgetBytes && AutoStride == 0) {
       // First successful capture: size the stride so that roughly
       // 2x AutoBudgetBytes of raw snapshots get attempted (the LRU and
@@ -278,12 +297,174 @@ private:
     ++Plan.Collected;
   }
 
+  /// Snapshots the full interpreter state at the current (clean)
+  /// beginStep instant -- shared by original-run collection and switched-
+  /// run capture. Requires DirtyCalls == 0 and the Cont/Path mirror.
+  std::shared_ptr<Checkpoint> makeSnapshot() const {
+    auto CP = std::make_shared<Checkpoint>();
+    CP->Index = static_cast<TraceIdx>(Trace.Steps.size());
+    CP->InputCursor = InputCursor;
+    CP->StepCount = StepCount;
+    CP->FrameCounter = FrameCounter;
+    CP->OutputCount = Trace.Outputs.size();
+    CP->InputIndependent = !InputSeen;
+    CP->GlobalMem = GlobalMem;
+    CP->GlobalLastDef = GlobalLastDef;
+    CP->InstCount = InstCount;
+    CP->Frames.reserve(Cont.size());
+    for (size_t L = 0; L < Cont.size(); ++L) {
+      CheckpointFrame CF;
+      CF.State = *Cont[L].F;
+      size_t PathEnd =
+          L + 1 < Cont.size() ? Cont[L + 1].PathStart : Path.size();
+      CF.Path.assign(Path.begin() + Cont[L].PathStart, Path.begin() + PathEnd);
+      if (L + 1 < Cont.size()) {
+        CF.PendingRec = Cont[L + 1].PendingRec;
+        CF.PendingSnapshot = Trace.Steps[CF.PendingRec];
+      }
+      CP->Frames.push_back(std::move(CF));
+    }
+    return CP;
+  }
+
+  /// Switched-run capture hook: once every forced decision has fired,
+  /// snapshot at paced predicate instances, tagging each snapshot with
+  /// the run's divergence key.
+  void maybeCaptureSwitched(const Stmt *S) {
+    SwitchedCapturePlan &Plan = *Opts.SwitchedCapture;
+    if (Applied.size() < RequiredDecisions ||
+        Plan.Captured.size() >= Plan.MaxSnapshots || !S->isPredicate())
+      return;
+    if (StepCount < LastCaptureStep + Plan.SpacingSteps)
+      return;
+    if (DirtyCalls > 0) {
+      ++Plan.SkippedDirty;
+      return;
+    }
+    std::shared_ptr<Checkpoint> CP = makeSnapshot();
+    CP->Divergence = Applied;
+    Plan.Captured.push_back(std::move(CP));
+    LastCaptureStep = StepCount;
+  }
+
+  /// Reconvergence probe (see align/Reconverge.h for the construction and
+  /// the soundness argument). Called at the top of beginStep, before the
+  /// instance-count bump. Returns true after splicing the rest of the
+  /// original trace -- the caller must not execute the statement.
+  bool maybeReconverge(const Stmt *S, Frame &F) {
+    const ReconvergePlan &Plan = *Opts.Reconverge;
+    const TraceIdx Here = static_cast<TraceIdx>(Trace.Steps.size());
+    while (RecCursor < Plan.Sites.size() &&
+           Plan.Sites[RecCursor].CP->Index < Here)
+      ++RecCursor;
+    if (RecCursor >= Plan.Sites.size() ||
+        Plan.Sites[RecCursor].CP->Index != Here)
+      return false;
+    if (Applied.size() < RequiredDecisions)
+      return false; // A pending decision still has to fire; keep going.
+    const ReconvergeSite &Site = Plan.Sites[RecCursor];
+    const Checkpoint &CP = *Site.CP;
+    const ExecutionTrace &Orig = *Plan.Original;
+    ++Trace.ReconvergeProbes;
+
+    // Cheap gates first. Statement identity + the scalar state, then the
+    // region identity: the next record's dynamic control-dependence
+    // parent must be the same instance the original's was (the site and
+    // the probe sit in the same RegionTree region).
+    if (DirtyCalls != 0 || S->id() != Site.Stmt)
+      return false;
+    if (InstCount[S->id()] + 1 != Site.InstanceNo)
+      return false;
+    if (StepCount != CP.StepCount || InputCursor != CP.InputCursor ||
+        FrameCounter != CP.FrameCounter ||
+        Trace.Outputs.size() != CP.OutputCount ||
+        InputSeen == CP.InputIndependent)
+      return false;
+    if (CP.StepCount + (Orig.Steps.size() - Here) > Opts.MaxSteps)
+      return false; // The spliced run would have tripped the step budget.
+    if (Cont.size() != CP.Frames.size())
+      return false;
+    if (resolveCdParent(S->id(), F) != Site.CdParent)
+      return false;
+
+    // Deep state comparison: live frames exactly; instance counters and
+    // global store only where the suffix can observe them.
+    for (size_t L = 0; L < Cont.size(); ++L) {
+      if (!(*Cont[L].F == CP.Frames[L].State))
+        return false;
+      size_t PathEnd =
+          L + 1 < Cont.size() ? Cont[L + 1].PathStart : Path.size();
+      size_t PathLen = PathEnd - Cont[L].PathStart;
+      if (PathLen != CP.Frames[L].Path.size() ||
+          !std::equal(Path.begin() + Cont[L].PathStart,
+                      Path.begin() + PathEnd, CP.Frames[L].Path.begin()))
+        return false;
+      if (L + 1 < Cont.size()) {
+        if (Cont[L + 1].PendingRec != CP.Frames[L].PendingRec)
+          return false;
+        if (!(Trace.Steps[Cont[L + 1].PendingRec] ==
+              CP.Frames[L].PendingSnapshot))
+          return false;
+      }
+    }
+    assert(InstCount.size() == CP.InstCount.size());
+    for (size_t W = 0; W < Site.SuffixStmts.size(); ++W) {
+      uint64_t Bits = Site.SuffixStmts[W];
+      while (Bits) {
+        size_t Sid = W * 64 + static_cast<size_t>(__builtin_ctzll(Bits));
+        Bits &= Bits - 1;
+        if (Sid < InstCount.size() && InstCount[Sid] != CP.InstCount[Sid])
+          return false;
+      }
+    }
+    for (size_t W = 0; W < Site.SuffixReads.size(); ++W) {
+      uint64_t Bits = Site.SuffixReads[W];
+      while (Bits) {
+        size_t Slot = W * 64 + static_cast<size_t>(__builtin_ctzll(Bits));
+        Bits &= Bits - 1;
+        if (Slot < GlobalMem.size() &&
+            (GlobalMem[Slot] != CP.GlobalMem[Slot] ||
+             GlobalLastDef[Slot] != CP.GlobalLastDef[Slot]))
+          return false;
+      }
+    }
+
+    // Reconverged: from this state, interpretation would reproduce the
+    // original suffix byte for byte -- splice it instead. Live frames'
+    // pending call records complete during the suffix; the original's
+    // completed copies are exactly what interpretation would have written
+    // (pending contents were proved equal, and the completion depends
+    // only on post-site state, also proved equal).
+    for (size_t L = 0; L + 1 < Cont.size(); ++L) {
+      TraceIdx PR = Cont[L + 1].PendingRec;
+      if (PR != InvalidId)
+        Trace.Steps[PR] = Orig.Steps[PR];
+    }
+    Trace.Steps.insert(Trace.Steps.end(), Orig.Steps.begin() + Here,
+                       Orig.Steps.end());
+    Trace.Outputs.insert(Trace.Outputs.end(),
+                         Orig.Outputs.begin() + CP.OutputCount,
+                         Orig.Outputs.end());
+    if (Trace.FirstInputStep == InvalidId && Orig.FirstInputStep != InvalidId &&
+        Orig.FirstInputStep >= Here)
+      Trace.FirstInputStep = Orig.FirstInputStep;
+    Trace.ExitValue = Orig.ExitValue;
+    Trace.SplicedSuffix = static_cast<TraceIdx>(Orig.Steps.size() - Here);
+    Spliced = true;
+    halt(ExitReason::Finished); // Plan builder guarantees Orig finished.
+    return true;
+  }
+
   /// Starts a StepRecord for one execution of \p S in \p F, resolving the
   /// dynamic control-dependence parent. Returns the record's index, or
   /// InvalidId in non-tracing runs (which only count steps).
   TraceIdx beginStep(const Stmt *S, Frame &F) {
+    if (Probing && maybeReconverge(S, F))
+      return InvalidId; // Spliced + halted; the statement is not executed.
     if (Collecting)
       maybeCapture(S);
+    if (Capturing)
+      maybeCaptureSwitched(S);
     ++InstCount[S->id()];
     if (++StepCount > Opts.MaxSteps)
       halt(ExitReason::StepLimit);
@@ -317,9 +498,22 @@ private:
     if (Opts.Perturb && Opts.Perturb->Stmt == Sid &&
         Opts.Perturb->InstanceNo == InstCount[Sid]) {
       Trace.SwitchedStep = Rec;
+      noteDecision({Sid, InstCount[Sid], /*Perturb=*/true,
+                    Opts.Perturb->Value});
       return Opts.Perturb->Value;
     }
     return Value;
+  }
+
+  /// Records a forced decision the run just applied (feeds the divergence
+  /// key and gates captures/probes on "all decisions applied"). Resumed
+  /// runs pre-seed Applied from the snapshot, so a decision inherited
+  /// that way is not re-recorded.
+  void noteDecision(SwitchDecision D) {
+    if (std::find(Applied.begin(), Applied.end(), D) == Applied.end()) {
+      Applied.push_back(D);
+      LastCaptureStep = StepCount;
+    }
   }
 
   void halt(ExitReason Reason) {
@@ -526,7 +720,7 @@ private:
 
   int64_t evalCall(const CallExpr *Call, Frame &F, TraceIdx Rec) {
     bool Clean = false;
-    if (Collecting) {
+    if (Mirror) {
       // Consume the flag here so calls nested in the arguments see false.
       Clean = NextCallClean && Rec != InvalidId;
       NextCallClean = false;
@@ -549,13 +743,13 @@ private:
       storeFrame(Inner, Info.Slot, Param, ArgValues[I], Rec);
     }
 
-    if (Collecting) {
+    if (Mirror) {
       if (!Clean)
         ++DirtyCalls;
       Cont.push_back({&Inner, Rec, Path.size()});
     }
     execBody(Callee.body(), Inner);
-    if (Collecting) {
+    if (Mirror) {
       Cont.pop_back();
       if (!Clean)
         --DirtyCalls;
@@ -581,7 +775,7 @@ private:
 
   Flow execBody(const std::vector<Stmt *> &Body, Frame &F,
                 ResumeEntry::Body In = ResumeEntry::Body::Func) {
-    if (!Collecting) {
+    if (!Mirror) {
       for (Stmt *S : Body) {
         Flow Result = execStmt(S, F);
         if (Result != Flow::Normal)
@@ -589,8 +783,9 @@ private:
       }
       return Flow::Normal;
     }
-    // Collection runs mirror the descent in Path so a capture can record
-    // the continuation: one entry per live body, updated per statement.
+    // Mirror runs track the descent in Path so a capture can record the
+    // continuation (and a probe compare it): one entry per live body,
+    // updated per statement.
     size_t Slot = Path.size();
     Path.push_back({In, 0});
     Flow Result = Flow::Normal;
@@ -607,11 +802,15 @@ private:
   /// Evaluates the condition of predicate instance \p Rec, applying the
   /// requested switch when this is the targeted instance.
   bool evalPredicate(const Expr *Cond, Frame &F, TraceIdx Rec, StmtId Sid) {
+    if (Spliced)
+      return false; // The un-executed statement after a suffix splice
+                    // must not match the switch (its counter never bumped).
     bool Taken = evalExpr(Cond, F, Rec) != 0;
     if (Opts.Switch && Opts.Switch->Pred == Sid &&
         Opts.Switch->InstanceNo == InstCount[Sid]) {
       Taken = !Taken;
       Trace.SwitchedStep = Rec;
+      noteDecision({Sid, InstCount[Sid], /*Perturb=*/false, /*Value=*/0});
     }
     if (Rec != InvalidId) {
       StepRecord &Step = Trace.Steps[Rec];
@@ -631,8 +830,7 @@ private:
       const VarInfo &Info = Prog.variable(Decl->var());
       if (Info.isArray())
         return Halted ? Flow::Halt : Flow::Normal;
-      if (Collecting && Decl->init() &&
-          Decl->init()->kind() == Expr::Kind::Call)
+      if (Mirror && Decl->init() && Decl->init()->kind() == Expr::Kind::Call)
         NextCallClean = true;
       int64_t Value = Decl->init() ? evalExpr(Decl->init(), F, Rec) : 0;
       if (Halted)
@@ -649,7 +847,7 @@ private:
     case Stmt::Kind::Assign: {
       const auto *A = cast<AssignStmt>(S);
       TraceIdx Rec = beginStep(S, F);
-      if (Collecting && A->value()->kind() == Expr::Kind::Call)
+      if (Mirror && A->value()->kind() == Expr::Kind::Call)
         NextCallClean = true;
       int64_t Value = evalExpr(A->value(), F, Rec);
       if (Halted)
@@ -707,7 +905,7 @@ private:
     case Stmt::Kind::Return: {
       const auto *R = cast<ReturnStmt>(S);
       TraceIdx Rec = beginStep(S, F);
-      if (Collecting && R->value() && R->value()->kind() == Expr::Kind::Call)
+      if (Mirror && R->value() && R->value()->kind() == Expr::Kind::Call)
         NextCallClean = true;
       int64_t Value = R->value() ? evalExpr(R->value(), F, Rec) : 0;
       if (Halted)
@@ -738,7 +936,7 @@ private:
     }
     case Stmt::Kind::CallStmt: {
       TraceIdx Rec = beginStep(S, F);
-      if (Collecting)
+      if (Mirror)
         NextCallClean = true;
       evalCall(cast<CallStmtNode>(S)->call(), F, Rec);
       return Halted ? Flow::Halt : Flow::Normal;
@@ -802,6 +1000,13 @@ private:
     Stmt *S = Body[E.Index];
     const bool Terminal = Depth + 1 == CF.Path.size();
 
+    // Mirror runs rebuild the descent Path exactly as execBody would have
+    // it at this point of a full run (captures and probes on resumed runs
+    // depend on it).
+    size_t Slot = Path.size();
+    if (Mirror)
+      Path.push_back({E.In, E.Index});
+
     Flow Result;
     if (Terminal && Level + 1 == CP.Frames.size()) {
       // The statement whose beginStep captured the snapshot: re-execute
@@ -839,14 +1044,18 @@ private:
       }
     }
 
-    if (Result != Flow::Normal)
-      return Result;
-    for (size_t I = E.Index + 1; I < Body.size(); ++I) {
-      Result = execStmt(Body[I], F);
-      if (Result != Flow::Normal)
-        return Result;
+    if (Result == Flow::Normal) {
+      for (size_t I = E.Index + 1; I < Body.size(); ++I) {
+        if (Mirror)
+          Path[Slot].Index = static_cast<uint32_t>(I);
+        Result = execStmt(Body[I], F);
+        if (Result != Flow::Normal)
+          break;
+      }
     }
-    return Flow::Normal;
+    if (Mirror)
+      Path.resize(Slot);
+    return Result;
   }
 
   /// Finishes a suspended clean call: rebuilds the callee frame, resumes
@@ -858,7 +1067,13 @@ private:
     assert(Call && "pending call on a non-call-rooted statement");
 
     Frame Inner = CP.Frames[Level + 1].State;
+    // Suspended checkpoint calls are statement-root (clean) calls, so the
+    // rebuilt level adds no dirty call.
+    if (Mirror)
+      Cont.push_back({&Inner, Rec, Path.size()});
     resumeFrame(CP, Level + 1, Inner);
+    if (Mirror)
+      Cont.pop_back();
     if (Halted) {
       Ctx.recycleFrame(std::move(Inner));
       return Flow::Halt;
@@ -928,6 +1143,7 @@ Interpreter::Interpreter(const Program &Prog,
     CSwitchedRuns = &Stats->counter("interp.switched_runs");
     CResumedRuns = &Stats->counter("interp.resumed_runs");
     CSplicedSteps = &Stats->counter("interp.spliced_steps");
+    CSplicedSuffixSteps = &Stats->counter("interp.spliced_suffix_steps");
     CSteps = &Stats->counter("interp.steps");
     COutputs = &Stats->counter("interp.outputs");
     CAborts = &Stats->counter("interp.aborted_runs");
@@ -945,6 +1161,8 @@ ExecutionTrace Interpreter::record(ExecutionTrace T, bool Switched,
       CResumedRuns->add();
       CSplicedSteps->add(Spliced);
     }
+    if (T.SplicedSuffix)
+      CSplicedSuffixSteps->add(T.SplicedSuffix);
     CSteps->add(T.size()); // Traced instances; plain runs record nothing.
     COutputs->add(T.Outputs.size());
     if (T.Exit != ExitReason::Finished)

@@ -24,6 +24,7 @@
 #include "analysis/StaticAnalysis.h"
 #include "interp/Checkpoint.h"
 #include "interp/ExecContext.h"
+#include "interp/SwitchedRunStore.h"
 #include "interp/Trace.h"
 #include "lang/AST.h"
 #include "support/Stats.h"
@@ -60,6 +61,16 @@ public:
     /// non-statement-root call (see Checkpoint.h). The plan's Collected /
     /// SkippedDirty out-params are written back. Ignored by runFrom.
     CheckpointPlan *Checkpoints = nullptr;
+    /// When set on a switched/perturbed tracing run, the engine captures
+    /// divergence-keyed snapshots past the last applied decision (see
+    /// SwitchedRunStore.h). Owned by the caller, one plan per run.
+    SwitchedCapturePlan *SwitchedCapture = nullptr;
+    /// When set on a switched/perturbed tracing run, the engine probes
+    /// the plan's sites once all decisions are applied; on a match it
+    /// stops interpreting and splices the rest of the plan's original
+    /// trace (suffix splicing; byte-identical to interpreting on). The
+    /// plan is read-only and may be shared by concurrent runs.
+    const ReconvergePlan *Reconverge = nullptr;
   };
 
   /// \p Analysis must have been built for \p Prog. When \p Stats is
@@ -106,8 +117,16 @@ public:
   /// SharedCheckpointStore). The result is byte-identical to
   /// run(Input, Opts) for any Opts whose switch/perturbation targets lie
   /// at or after CP.Index and whose MaxSteps is no lower than the
-  /// capturing run's budget at capture time. Opts.Trace must be true;
-  /// Opts.Checkpoints is ignored.
+  /// capturing run's budget at capture time.
+  ///
+  /// Divergence-keyed resumes (SwitchedRunStore): when CP.Divergence is
+  /// non-empty, \p SpliceFrom must be the capturing *switched* run's
+  /// trace and Opts must request exactly the decisions CP.Divergence
+  /// starts with -- decisions the snapshot already applied are marked
+  /// applied and can never re-fire (their instance counters have passed);
+  /// the result is byte-identical to the full switched run.
+  ///
+  /// Opts.Trace must be true; Opts.Checkpoints is ignored.
   ExecutionTrace runFrom(const Checkpoint &CP,
                          const ExecutionTrace &SpliceFrom,
                          const std::vector<int64_t> &Input,
@@ -129,6 +148,7 @@ private:
   support::StatCounter *CSwitchedRuns = nullptr;
   support::StatCounter *CResumedRuns = nullptr;
   support::StatCounter *CSplicedSteps = nullptr;
+  support::StatCounter *CSplicedSuffixSteps = nullptr;
   support::StatCounter *CSteps = nullptr;
   support::StatCounter *COutputs = nullptr;
   support::StatCounter *CAborts = nullptr;

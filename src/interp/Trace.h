@@ -155,6 +155,13 @@ struct ExecutionTrace {
   /// alone, valid for any input (the cross-input sharing watermark; see
   /// interp/Checkpoint.h).
   TraceIdx FirstInputStep = InvalidId;
+  /// Bookkeeping for switched-run suffix splicing (transient -- not
+  /// serialized by TraceIO; see interp/SwitchedRunStore.h). Number of
+  /// steps appended from the original trace after a successful
+  /// reconvergence probe instead of being interpreted, and the number of
+  /// probe attempts this run made.
+  TraceIdx SplicedSuffix = 0;
+  uint32_t ReconvergeProbes = 0;
 
   size_t size() const { return Steps.size(); }
   const StepRecord &step(TraceIdx I) const { return Steps.at(I); }
@@ -185,6 +192,28 @@ struct PerturbSpec {
   StmtId Stmt = InvalidId;
   uint32_t InstanceNo = 0;
   int64_t Value = 0;
+};
+
+/// One forced control- or value-alteration the interpreter has applied
+/// to a run so far. The ordered sequence of decisions applied by a
+/// switched/perturbed run is its *divergence key*: two runs of the same
+/// program on the same input with the same applied-decision sequence are
+/// in identical states from the last application onward, so snapshots
+/// captured past that point are interchangeable between them (see
+/// interp/SwitchedRunStore.h).
+struct SwitchDecision {
+  /// The altered statement (the switched predicate, or the perturbed
+  /// definition).
+  StmtId Stmt = InvalidId;
+  /// Its instance number at application time.
+  uint32_t InstanceNo = 0;
+  /// False = branch switch (SwitchSpec), true = value perturbation.
+  bool Perturb = false;
+  /// The forced value for perturbations; 0 for switches.
+  int64_t Value = 0;
+
+  bool operator==(const SwitchDecision &D) const = default;
+  auto operator<=>(const SwitchDecision &D) const = default;
 };
 
 } // namespace interp

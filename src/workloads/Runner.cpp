@@ -46,7 +46,8 @@ FaultRunner::FaultRunner(const FaultInfo &Fault) : Fault(Fault) {
 
 std::unique_ptr<DebugSession>
 FaultRunner::makeSession(const Options &Opts,
-                         interp::SharedCheckpointStore *Shared) const {
+                         interp::SharedCheckpointStore *Shared,
+                         interp::SwitchedRunStore *SwitchedRuns) const {
   DebugSession::Config C;
   C.PDBackend = Opts.Backend;
   C.Locate.VerifyFanout = Opts.VerifyFanout;
@@ -58,7 +59,9 @@ FaultRunner::makeSession(const Options &Opts,
   C.Locate.CheckpointDelta = Opts.CheckpointDelta;
   C.Locate.CheckpointShare = Opts.ShareCheckpoints;
   C.Locate.CheckpointDir = Opts.CheckpointDir;
+  C.Locate.SwitchedCacheBytes = Opts.SwitchedCacheBytes;
   C.SharedCheckpoints = Shared;
+  C.SwitchedRuns = SwitchedRuns;
   C.Stats = Opts.Stats;
   C.Tracer = Opts.Tracer;
   return std::make_unique<DebugSession>(*Faulty, Fault.FailingInput, Expected,
@@ -78,17 +81,29 @@ ExperimentResult FaultRunner::run(const Options &Opts) {
   interp::SharedCheckpointStore *SharedPtr =
       Opts.ShareCheckpoints ? &Shared : nullptr;
 
+  // Both phases also re-execute the same switched runs: phase A stages
+  // divergence-keyed snapshot bundles into this store, the seal between
+  // the phases makes them visible (deterministic admission -- see
+  // SwitchedRunStore.h), and phase B's switched runs resume from them.
+  interp::SwitchedRunStore SwitchedRuns(Opts.SwitchedCacheBytes);
+  interp::SwitchedRunStore *SwitchedPtr =
+      Opts.SwitchedCacheBytes > 0 ? &SwitchedRuns : nullptr;
+
   // Phase A: discover the implicit edges with a root-only oracle, then
   // derive OS from the expanded dependence graph.
-  std::unique_ptr<DebugSession> PhaseA = makeSession(Opts, SharedPtr);
+  std::unique_ptr<DebugSession> PhaseA =
+      makeSession(Opts, SharedPtr, SwitchedPtr);
   assert(PhaseA->hasFailure());
   ProtocolOracle RootOnly(Root, nullptr);
   LocateReport ReportA = PhaseA->locate(RootOnly);
   std::vector<bool> Chain = PhaseA->failureChain(Root);
   R.OS = PhaseA->graph().stats(Chain);
+  if (SwitchedPtr)
+    SwitchedPtr->seal();
 
   // Phase B: the measured run, with the paper's OS-based oracle.
-  std::unique_ptr<DebugSession> PhaseB = makeSession(Opts, SharedPtr);
+  std::unique_ptr<DebugSession> PhaseB =
+      makeSession(Opts, SharedPtr, SwitchedPtr);
   assert(PhaseB->hasFailure());
   R.TraceLength = PhaseB->trace().size();
 

@@ -101,6 +101,13 @@ public:
     /// duration of run(), so phase B resumes from phase A's pre-input
     /// snapshots without re-collecting them.
     bool ShareCheckpoints = true;
+    /// Switched-run snapshot cache (LocateConfig::SwitchedCacheBytes):
+    /// the runner owns a SwitchedRunStore for the duration of run() and
+    /// seals it between phase A and phase B, so phase B's switched runs
+    /// resume from phase A's divergence-keyed snapshots and splice
+    /// reconvergent suffixes. 0 = off (the reference full-interpretation
+    /// behavior); any value yields bit-identical reports.
+    size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
     /// Persistent checkpoint cache directory (LocateConfig::
     /// CheckpointDir): phase A loads the cache before running, and the
     /// runner saves the shared store back after phase B, so repeated
@@ -134,7 +141,8 @@ public:
 private:
   std::unique_ptr<core::DebugSession>
   makeSession(const Options &Opts,
-              interp::SharedCheckpointStore *Shared = nullptr) const;
+              interp::SharedCheckpointStore *Shared = nullptr,
+              interp::SwitchedRunStore *SwitchedRuns = nullptr) const;
 
   const FaultInfo &Fault;
   std::unique_ptr<lang::Program> Faulty;

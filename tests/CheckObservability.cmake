@@ -43,6 +43,10 @@ foreach(Key
     "\"ckpt.encoded_bytes\"" "\"ckpt.raw_bytes\"" "\"ckpt.shared_hits\""
     "\"ckpt.auto_stride\"" "\"ckpt.disk_hits\"" "\"ckpt.disk_loads\""
     "\"ckpt.disk_rejects\"" "\"ckpt.disk_write_bytes\""
+    "\"ckpt.switched_hits\"" "\"ckpt.switched_promotions\""
+    "\"ckpt.switched_spliced_suffix_steps\""
+    "\"ckpt.switched_reconverge_probes\""
+    "\"ckpt.switched_interpreted_steps\""
     "\"counters\"" "\"timers\""
     "\"histograms\"")
   if(NOT LastLine MATCHES "${Key}")

@@ -407,4 +407,73 @@ TEST(CheckpointDiskTest, GoldenFixtureStillLoads) {
          "bump CheckpointDiskVersion and regenerate";
 }
 
+// sweep() in a crowded directory: only our two file patterns are ever
+// candidates, stale writer temps go first, then cache files leave
+// oldest-mtime-first until the survivors fit the cap. Foreign files --
+// the rest of a busy temp dir -- are never touched.
+TEST(CheckpointDiskTest, SweepCapsACrowdedDirectory) {
+  fs::path Dir = freshDir("eoe_sweep_crowded");
+  auto Touch = [&](const char *Name, size_t Bytes, int AgeHours) {
+    fs::path P = Dir / Name;
+    writeFile(P, std::string(Bytes, 'x'));
+    fs::last_write_time(P, fs::file_time_type::clock::now() -
+                               std::chrono::hours(AgeHours));
+    return P;
+  };
+
+  // Three cache files, oldest first; 3 KiB total.
+  fs::path Oldest = Touch("ckpt-000000000000000a-100.eoeckpt", 1024, 30);
+  fs::path Middle = Touch("ckpt-000000000000000b-100.eoeckpt", 1024, 20);
+  fs::path Newest = Touch("ckpt-000000000000000c-100.eoeckpt", 1024, 10);
+  // Writer temps: one stale (crashed writer debris), one fresh (a live
+  // writer mid-save -- the rename discipline says hands off).
+  fs::path StaleTmp =
+      Touch("ckpt-000000000000000d-100.eoeckpt.tmp", 512, 48);
+  fs::path FreshTmp = Touch("ckpt-000000000000000e-100.eoeckpt.tmp", 512, 0);
+  // Foreign neighbors a crowded temp dir would hold.
+  fs::path Foreign1 = Touch("unrelated.txt", 64, 99);
+  fs::path Foreign2 = Touch("ckpt-not-ours.dat", 64, 99);
+  fs::path Foreign3 = Touch("other.eoeckpt.bak", 64, 99);
+
+  support::StatsRegistry Stats;
+  CheckpointDiskStore Store(Dir.string());
+  // Cap at 2 KiB: the stale temp and the oldest cache file must go.
+  CheckpointDiskStore::SweepResult R =
+      Store.sweep(2048, std::chrono::hours(1), &Stats);
+
+  EXPECT_EQ(R.Files, 2u);
+  EXPECT_EQ(R.Bytes, 1024u + 512u);
+  EXPECT_FALSE(fs::exists(Oldest));
+  EXPECT_FALSE(fs::exists(StaleTmp));
+  EXPECT_TRUE(fs::exists(Middle));
+  EXPECT_TRUE(fs::exists(Newest));
+  EXPECT_TRUE(fs::exists(FreshTmp));
+  EXPECT_TRUE(fs::exists(Foreign1));
+  EXPECT_TRUE(fs::exists(Foreign2));
+  EXPECT_TRUE(fs::exists(Foreign3));
+  EXPECT_EQ(Stats.counter("verify.ckpt.disk_sweep_files").get(), 2u);
+  EXPECT_EQ(Stats.counter("verify.ckpt.disk_sweep_bytes").get(), 1536u);
+
+  // Under the cap already: a second sweep is a no-op.
+  CheckpointDiskStore::SweepResult R2 = Store.sweep(2048);
+  EXPECT_EQ(R2.Files, 0u);
+  EXPECT_TRUE(fs::exists(Middle));
+  EXPECT_TRUE(fs::exists(Newest));
+
+  // Cap 0 evicts every cache file but still spares fresh temps and
+  // foreign files.
+  CheckpointDiskStore::SweepResult R3 = Store.sweep(0);
+  EXPECT_EQ(R3.Files, 2u);
+  EXPECT_FALSE(fs::exists(Middle));
+  EXPECT_FALSE(fs::exists(Newest));
+  EXPECT_TRUE(fs::exists(FreshTmp));
+  EXPECT_TRUE(fs::exists(Foreign1));
+
+  // A directory that does not exist sweeps to nothing, not an error.
+  CheckpointDiskStore Missing((Dir / "nope").string());
+  CheckpointDiskStore::SweepResult R4 = Missing.sweep(0);
+  EXPECT_EQ(R4.Files, 0u);
+  EXPECT_EQ(R4.Bytes, 0u);
+}
+
 } // namespace

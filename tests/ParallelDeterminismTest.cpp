@@ -209,6 +209,13 @@ const char *const InvariantCounterKeys[] = {
     // with no cache directory wired).
     "verify.ckpt.disk_hits", "verify.ckpt.disk_loads",
     "verify.ckpt.disk_rejects", "verify.ckpt.disk_write_bytes",
+    // The switched-run cache resolves once per distinct predicate under
+    // the run cell's call_once, and capture/probe/splice work is a pure
+    // function of each (session, predicate) -- invariant like ckpt.hits.
+    "verify.ckpt.switched_hits", "verify.ckpt.switched_promotions",
+    "verify.ckpt.switched_spliced_suffix_steps",
+    "verify.ckpt.switched_reconverge_probes",
+    "verify.ckpt.switched_interpreted_steps", "interp.spliced_suffix_steps",
     "align.aligners", "align.queries", "align.matched",
     "align.prefix_hits", "align.regions_walked",
     "align.no_match.region_ended_early", "align.no_match.branch_diverged",
@@ -222,6 +229,89 @@ const char *const InvariantCounterKeys[] = {
     "slicing.benign_marks", "slicing.corrupted_marks",
     "slicing.dynamic_slices", "slicing.relevant_slices",
 };
+
+/// Two locate sessions around a SwitchedRunStore seal(), so the second
+/// session's switched runs actually resume from staged snapshots and
+/// splice reconvergent suffixes. Returns both outcomes. CacheBytes 0 is
+/// the reference configuration (no store wired, full interpretation).
+std::vector<LocateOutcome> locateTwiceCached(const PreparedFault &F,
+                                             unsigned Threads,
+                                             size_t CacheBytes) {
+  SwitchedRunStore Store(CacheBytes);
+  std::vector<LocateOutcome> Out;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    core::DebugSession::Config C;
+    C.Threads = Threads;
+    C.Locate.SwitchedCacheBytes = CacheBytes;
+    if (CacheBytes > 0)
+      C.SwitchedRuns = &Store;
+    core::DebugSession Session(*F.Faulty, F.Input, F.Expected, {}, C);
+    EXPECT_TRUE(Session.hasFailure());
+    RootOnlyOracle Oracle(F.Root);
+    LocateOutcome O;
+    O.Report = Session.locate(Oracle);
+    O.Edges = Session.graph().implicitEdges();
+    O.Chain = Session.failureChain(F.Root);
+    Out.push_back(std::move(O));
+    Store.seal();
+  }
+  return Out;
+}
+
+void expectSameOutcome(const LocateOutcome &A, const LocateOutcome &B,
+                       uint64_t Seed, const char *What) {
+  EXPECT_EQ(A.Report.RootCauseFound, B.Report.RootCauseFound)
+      << What << " seed " << Seed;
+  EXPECT_EQ(A.Report.Verifications, B.Report.Verifications)
+      << What << " seed " << Seed;
+  EXPECT_EQ(A.Report.Reexecutions, B.Report.Reexecutions)
+      << What << " seed " << Seed;
+  EXPECT_EQ(A.Report.Iterations, B.Report.Iterations)
+      << What << " seed " << Seed;
+  EXPECT_EQ(A.Report.ExpandedEdges, B.Report.ExpandedEdges)
+      << What << " seed " << Seed;
+  EXPECT_EQ(A.Report.StrongEdges, B.Report.StrongEdges)
+      << What << " seed " << Seed;
+  EXPECT_EQ(A.Report.FinalPrunedSlice, B.Report.FinalPrunedSlice)
+      << What << " seed " << Seed;
+  ASSERT_EQ(A.Edges.size(), B.Edges.size()) << What << " seed " << Seed;
+  for (size_t I = 0; I < A.Edges.size(); ++I) {
+    EXPECT_EQ(A.Edges[I].Use, B.Edges[I].Use)
+        << What << " seed " << Seed << " edge " << I;
+    EXPECT_EQ(A.Edges[I].Pred, B.Edges[I].Pred)
+        << What << " seed " << Seed << " edge " << I;
+    EXPECT_EQ(A.Edges[I].Strong, B.Edges[I].Strong)
+        << What << " seed " << Seed << " edge " << I;
+  }
+  EXPECT_EQ(A.Chain, B.Chain) << What << " seed " << Seed;
+}
+
+class SwitchedCacheDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SwitchedCacheDeterminism, CacheOnOffAndThreadCountAreInvisible) {
+  // The switched-run snapshot cache's contract: cache on, off, or
+  // size-capped, serial or parallel, every locate outcome is
+  // bit-identical -- only re-execution work may change.
+  std::optional<PreparedFault> F = prepareFault(GetParam());
+  if (!F)
+    GTEST_SKIP() << "fault masked by later definitions";
+
+  std::vector<LocateOutcome> Ref = locateTwiceCached(*F, 1, 0);
+  expectSameOutcome(Ref[0], Ref[1], GetParam(), "off@1 pass0 vs pass1");
+  for (auto [Threads, Bytes, What] :
+       {std::tuple<unsigned, size_t, const char *>{4, 0, "off@4"},
+        {1, DefaultSwitchedCacheBytes, "on@1"},
+        {4, DefaultSwitchedCacheBytes, "on@4"},
+        {1, size_t(64) << 10, "capped@1"},
+        {4, size_t(64) << 10, "capped@4"}}) {
+    std::vector<LocateOutcome> Got = locateTwiceCached(*F, Threads, Bytes);
+    expectSameOutcome(Ref[0], Got[0], GetParam(), What);
+    expectSameOutcome(Ref[1], Got[1], GetParam(), What);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchedCacheDeterminism,
+                         ::testing::Range<uint64_t>(200, 210));
 
 TEST(ParallelStats, RegistryCountersAreThreadCountInvariant) {
   // Satellite of the observability PR: the determinism contract extends

@@ -1,0 +1,423 @@
+//===-- tests/SwitchedRunTest.cpp - Switched-run snapshot reuse ----------------===//
+//
+// Part of the EOE project, a reproduction of "Towards Locating Execution
+// Omission Errors" (Zhang, Tallam, Gupta, Gupta; PLDI 2007).
+//
+// The switched-run cache's contract (docs/checkpointing.md,
+// "Switched-run reuse"): a switched run resumed from a divergence-keyed
+// snapshot is *byte-identical* to the full switched run, the sealed set
+// of the store is a pure function of the staged multiset (independent of
+// staging order), and the reconvergence probe -- when it fires -- splices
+// a suffix byte-identical to what interpretation would have produced.
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Reconverge.h"
+#include "align/RegionTree.h"
+#include "lang/Parser.h"
+#include "RandomProgram.h"
+#include "support/Diagnostic.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+using namespace eoe;
+using namespace eoe::interp;
+using namespace eoe::test;
+
+namespace {
+
+constexpr uint64_t kBudget = 2'000'000;
+
+/// All predicate instances of \p T, in trace order.
+std::vector<TraceIdx> predicateInstances(const ExecutionTrace &T) {
+  std::vector<TraceIdx> Preds;
+  for (TraceIdx I = 0; I < T.size(); ++I)
+    if (T.step(I).isPredicateInstance())
+      Preds.push_back(I);
+  return Preds;
+}
+
+/// EXPECTs byte-identity of two switched runs (same program, input,
+/// switch spec; different execution strategy).
+void expectSameTrace(const ExecutionTrace &Full, const ExecutionTrace &Other,
+                     uint64_t Seed, TraceIdx P) {
+  EXPECT_EQ(Full.Exit, Other.Exit) << "seed " << Seed << " pred " << P;
+  EXPECT_EQ(Full.ExitValue, Other.ExitValue)
+      << "seed " << Seed << " pred " << P;
+  EXPECT_EQ(Full.SwitchedStep, Other.SwitchedStep)
+      << "seed " << Seed << " pred " << P;
+  EXPECT_EQ(Full.Outputs, Other.Outputs) << "seed " << Seed << " pred " << P;
+  ASSERT_EQ(Full.Steps.size(), Other.Steps.size())
+      << "seed " << Seed << " pred " << P;
+  for (TraceIdx I = 0; I < Full.Steps.size(); ++I)
+    ASSERT_EQ(Full.Steps[I], Other.Steps[I])
+        << "seed " << Seed << " pred " << P << " step " << I;
+}
+
+/// A parsed random omission program plus everything needed to drive
+/// switched runs against it.
+struct Subject {
+  std::shared_ptr<const lang::Program> Prog;
+  std::unique_ptr<analysis::StaticAnalysis> SA;
+  std::unique_ptr<Interpreter> Interp;
+  std::vector<int64_t> Input;
+  ExecutionTrace Original;
+
+  static std::optional<Subject> make(uint64_t Seed) {
+    RandomProgramGenerator Gen(Seed);
+    auto Variant = Gen.generateOmission();
+    DiagnosticEngine Diags;
+    auto Prog = lang::parseAndCheck(Variant.FaultySource, Diags);
+    if (!Prog)
+      return std::nullopt;
+    Subject S;
+    S.Prog = std::move(Prog);
+    S.SA = std::make_unique<analysis::StaticAnalysis>(*S.Prog);
+    S.Interp = std::make_unique<Interpreter>(*S.Prog, *S.SA);
+    S.Input = Variant.Input;
+    S.Original = S.Interp->run(S.Input);
+    if (S.Original.Exit != ExitReason::Finished)
+      return std::nullopt;
+    return S;
+  }
+
+  SwitchedRunStore::ValidityKey key() const {
+    return {/*ProgramHash=*/0x5157ull, /*Program=*/Prog.get(),
+            SwitchedRunStore::hashInput(Input), kBudget};
+  }
+
+  /// Runs the switch at trace index \p P with divergence-keyed capture
+  /// (small spacing so short random traces still snapshot) and returns
+  /// the bundle the verifier would stage, or nullopt if nothing was
+  /// captured past the switch point.
+  std::optional<SwitchedRunStore::Bundle> captureBundle(TraceIdx P) {
+    const StepRecord &Step = Original.step(P);
+    SwitchedCapturePlan Capture;
+    Capture.SpacingSteps = 16;
+    Interpreter::Options Opts;
+    Opts.MaxSteps = kBudget;
+    Opts.Switch = SwitchSpec{Step.Stmt, Step.InstanceNo};
+    Opts.SwitchedCapture = &Capture;
+    ExecutionTrace T = Interp->run(Input, Opts);
+    if (Capture.Captured.empty())
+      return std::nullopt;
+    SwitchedRunStore::Bundle B;
+    B.Key = Capture.Captured.front()->Divergence;
+    B.Prefix = std::make_shared<ExecutionTrace>(std::move(T));
+    B.Snapshots = std::move(Capture.Captured);
+    return B;
+  }
+};
+
+class SwitchedRunEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+// The tentpole property at the raw interpreter level: stage capture
+// bundles, seal, look them back up, resume from the hit -- the resumed
+// switched run must be byte-identical to the full switched run.
+TEST_P(SwitchedRunEquivalence, DivergenceKeyedResumeIsBitIdentical) {
+  auto S = Subject::make(GetParam());
+  if (!S)
+    GTEST_SKIP() << "degenerate program";
+  std::vector<TraceIdx> Preds = predicateInstances(S->Original);
+  if (Preds.empty())
+    GTEST_SKIP() << "no predicate instances";
+
+  SwitchedRunStore Store(DefaultSwitchedCacheBytes);
+  std::vector<TraceIdx> Bundled;
+  for (TraceIdx P : Preds) {
+    auto B = S->captureBundle(P);
+    if (!B)
+      continue;
+    Bundled.push_back(P);
+    Store.stage(S->key(), std::move(*B));
+  }
+  if (Bundled.empty())
+    GTEST_SKIP() << "no snapshots captured past any switch point";
+  ASSERT_GT(Store.seal(), 0u);
+
+  size_t Resumed = 0;
+  ExecContext Ctx;
+  for (TraceIdx P : Bundled) {
+    const StepRecord &Step = S->Original.step(P);
+    SwitchSpec Spec{Step.Stmt, Step.InstanceNo};
+    std::vector<SwitchDecision> Requested{
+        SwitchDecision{Spec.Pred, Spec.InstanceNo, /*Perturb=*/false, 0}};
+    auto Hit = Store.lookup(S->key(), Requested);
+    ASSERT_TRUE(Hit) << "sealed bundle not served, pred " << P;
+    ASSERT_FALSE(Hit->CP->Divergence.empty());
+    EXPECT_EQ(Hit->CP->Divergence, Requested);
+
+    ExecutionTrace Full = S->Interp->runSwitched(S->Input, Spec, kBudget);
+    Interpreter::Options ResumeOpts;
+    ResumeOpts.MaxSteps = kBudget;
+    ResumeOpts.Switch = Spec;
+    ExecutionTrace FromCkpt =
+        S->Interp->runFrom(*Hit->CP, *Hit->Prefix, S->Input, ResumeOpts, Ctx);
+    expectSameTrace(Full, FromCkpt, GetParam(), P);
+    ++Resumed;
+  }
+  EXPECT_GT(Resumed, 0u);
+}
+
+// Capture instrumentation must not perturb the switched execution: the
+// capturing run's trace equals the plain switched run's, byte for byte.
+TEST_P(SwitchedRunEquivalence, CaptureDoesNotPerturbTheRun) {
+  auto S = Subject::make(GetParam());
+  if (!S)
+    GTEST_SKIP() << "degenerate program";
+  std::vector<TraceIdx> Preds = predicateInstances(S->Original);
+  for (size_t N = 0; N < Preds.size(); N += 2) {
+    TraceIdx P = Preds[N];
+    const StepRecord &Step = S->Original.step(P);
+    SwitchSpec Spec{Step.Stmt, Step.InstanceNo};
+    ExecutionTrace Plain = S->Interp->runSwitched(S->Input, Spec, kBudget);
+
+    SwitchedCapturePlan Capture;
+    Capture.SpacingSteps = 16;
+    Interpreter::Options Opts;
+    Opts.MaxSteps = kBudget;
+    Opts.Switch = Spec;
+    Opts.SwitchedCapture = &Capture;
+    ExecutionTrace Captured = S->Interp->run(S->Input, Opts);
+    expectSameTrace(Plain, Captured, GetParam(), P);
+    // Every snapshot carries the run's divergence key and sits past the
+    // switch point (the prefix store covers everything before it).
+    for (const auto &CP : Capture.Captured) {
+      ASSERT_TRUE(CP);
+      EXPECT_EQ(CP->Divergence.size(), 1u);
+      EXPECT_GT(CP->Index, Plain.SwitchedStep);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchedRunEquivalence,
+                         ::testing::Range<uint64_t>(400, 410));
+
+// The two-phase store contract: nothing is served before the first
+// seal(), and the sealed set (counts, bytes, and what lookup returns) is
+// independent of staging order even under a budget that forces drops.
+TEST(SwitchedRunStoreTest, SealedSetIsIndependentOfStagingOrder) {
+  std::vector<SwitchedRunStore::Bundle> Bundles;
+  std::optional<Subject> S;
+  for (uint64_t Seed = 420; Seed < 440 && Bundles.size() < 4; ++Seed) {
+    S = Subject::make(Seed);
+    if (!S)
+      continue;
+    Bundles.clear();
+    for (TraceIdx P : predicateInstances(S->Original)) {
+      auto B = S->captureBundle(P);
+      if (B)
+        Bundles.push_back(std::move(*B));
+    }
+  }
+  ASSERT_GE(Bundles.size(), 4u) << "no seed yielded enough capture bundles";
+  SwitchedRunStore::ValidityKey K = S->key();
+
+  // Size the budget from an uncapped seal so roughly half the bundles
+  // fit -- the admission decision, not just the ordering, is under test.
+  SwitchedRunStore Uncapped(1ull << 30);
+  for (const auto &B : Bundles)
+    Uncapped.stage(K, SwitchedRunStore::Bundle(B));
+  ASSERT_EQ(Uncapped.seal(), Bundles.size());
+  size_t Budget = Uncapped.bytes() / 2;
+
+  SwitchedRunStore Fwd(Budget), Rev(Budget);
+  for (size_t I = 0; I < Bundles.size(); ++I) {
+    Fwd.stage(K, SwitchedRunStore::Bundle(Bundles[I]));
+    Rev.stage(K, SwitchedRunStore::Bundle(Bundles[Bundles.size() - 1 - I]));
+  }
+
+  // Two-phase: staged bundles are invisible until seal().
+  EXPECT_FALSE(Fwd.sealed());
+  EXPECT_FALSE(Fwd.lookup(K, Bundles.front().Key).has_value());
+
+  EXPECT_EQ(Fwd.seal(), Rev.seal());
+  EXPECT_EQ(Fwd.sealedCount(), Rev.sealedCount());
+  EXPECT_EQ(Fwd.droppedCount(), Rev.droppedCount());
+  EXPECT_EQ(Fwd.bytes(), Rev.bytes());
+  EXPECT_GT(Fwd.droppedCount(), 0u) << "budget did not force any drop";
+  EXPECT_LE(Fwd.bytes(), Budget);
+
+  for (const auto &B : Bundles) {
+    auto HF = Fwd.lookup(K, B.Key);
+    auto HR = Rev.lookup(K, B.Key);
+    ASSERT_EQ(HF.has_value(), HR.has_value());
+    if (HF) {
+      EXPECT_EQ(HF->CP->Index, HR->CP->Index);
+      EXPECT_EQ(HF->CP->Divergence, HR->CP->Divergence);
+    }
+  }
+}
+
+// Validity keys partition the cache: a bundle staged under one
+// (program, input, budget) key never serves a different key.
+TEST(SwitchedRunStoreTest, ValidityKeyMismatchMisses) {
+  std::optional<SwitchedRunStore::Bundle> B;
+  std::optional<Subject> S;
+  for (uint64_t Seed = 440; Seed < 460 && !B; ++Seed) {
+    S = Subject::make(Seed);
+    if (!S)
+      continue;
+    for (TraceIdx P : predicateInstances(S->Original)) {
+      B = S->captureBundle(P);
+      if (B)
+        break;
+    }
+  }
+  ASSERT_TRUE(B) << "no seed yielded a capture bundle";
+
+  SwitchedRunStore Store(DefaultSwitchedCacheBytes);
+  SwitchedRunStore::ValidityKey K = S->key();
+  std::vector<SwitchDecision> Key = B->Key;
+  Store.stage(K, std::move(*B));
+  ASSERT_EQ(Store.seal(), 1u);
+  EXPECT_TRUE(Store.lookup(K, Key).has_value());
+
+  SwitchedRunStore::ValidityKey OtherInput = K;
+  OtherInput.InputHash ^= 1;
+  EXPECT_FALSE(Store.lookup(OtherInput, Key).has_value());
+  SwitchedRunStore::ValidityKey OtherBudget = K;
+  OtherBudget.MaxSteps += 1;
+  EXPECT_FALSE(Store.lookup(OtherBudget, Key).has_value());
+
+  // A requested sequence that does not start with the stored key misses.
+  std::vector<SwitchDecision> Foreign{
+      SwitchDecision{Key[0].Stmt, Key[0].InstanceNo + 1000, false, 0}};
+  EXPECT_FALSE(Store.lookup(K, Foreign).has_value());
+}
+
+// A purpose-built reconvergence subject. The probe's gates dictate its
+// shape: the branch arms are *balanced* (one statement each, so a
+// switched run reaches later trace indices with the same step count as
+// the original), and the diverging state lives in top-level *globals*
+// the post-loop suffix never reads (live frames are compared exactly,
+// globals only on the suffix's read footprint). Switching the
+// always-false `if` therefore perturbs only junk/junk2 -- invisible to
+// the suffix -- and the probe at the first post-loop site must fire.
+const char *kReconvergeSrc = "var junk = 0;\n"
+                             "var junk2 = 0;\n"
+                             "fn main() {\n"
+                             "  var i = 0;\n"
+                             "  while (i < 8) {\n"
+                             "    if (i > 100) {\n"
+                             "      junk = junk + 1;\n"
+                             "    } else {\n"
+                             "      junk2 = junk2 + 1;\n"
+                             "    }\n"
+                             "    i = i + 1;\n"
+                             "  }\n"
+                             "  var j = 0;\n"
+                             "  var s = 0;\n"
+                             "  while (j < 50) {\n"
+                             "    s = s + j;\n"
+                             "    j = j + 1;\n"
+                             "  }\n"
+                             "  print(s);\n"
+                             "}\n";
+
+// Reconvergence suffix splicing: with probe sites built from the
+// original run's snapshots, every switched run with the plan attached is
+// byte-identical to the plain switched run, and at least one of the
+// always-false-branch switches actually splices (this subject is built
+// so the post-loop state differs only in what the suffix never reads).
+TEST(SwitchedRunTest, ReconvergeProbeSplicesByteIdentically) {
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(kReconvergeSrc, Diags);
+  ASSERT_TRUE(Prog) << Diags.str();
+  analysis::StaticAnalysis SA(*Prog);
+  Interpreter Interp(*Prog, SA);
+  std::vector<int64_t> Input;
+
+  ExecutionTrace E = Interp.run(Input);
+  ASSERT_EQ(E.Exit, ExitReason::Finished);
+  std::vector<TraceIdx> Preds = predicateInstances(E);
+  ASSERT_FALSE(Preds.empty());
+
+  // Snapshot every predicate instance of the original run, then build
+  // the probe plan exactly the way the verifier does.
+  CheckpointStore Store(64ull << 20);
+  CheckpointPlan Plan;
+  Plan.Store = &Store;
+  Plan.Sites = Preds;
+  Interpreter::Options CollectOpts;
+  CollectOpts.MaxSteps = kBudget;
+  CollectOpts.Checkpoints = &Plan;
+  ExecutionTrace Recollected = Interp.run(Input, CollectOpts);
+  ASSERT_EQ(Recollected.Steps.size(), E.Steps.size());
+  ASSERT_GT(Plan.Collected, 0u);
+
+  align::RegionTree Tree(E);
+  ReconvergePlan Probe =
+      align::buildReconvergePlan(E, Tree, Store.sample(MaxReconvergeSites));
+  ASSERT_FALSE(Probe.Sites.empty());
+
+  TraceIdx TotalSpliced = 0;
+  ExecContext Ctx;
+  for (TraceIdx P : Preds) {
+    const StepRecord &Step = E.step(P);
+    SwitchSpec Spec{Step.Stmt, Step.InstanceNo};
+    ExecutionTrace Plain = Interp.runSwitched(Input, Spec, kBudget);
+
+    Interpreter::Options Opts;
+    Opts.MaxSteps = kBudget;
+    Opts.Switch = Spec;
+    Opts.Reconverge = &Probe;
+    ExecutionTrace Probed = Interp.run(Input, Opts, Ctx);
+    expectSameTrace(Plain, Probed, /*Seed=*/0, P);
+    TotalSpliced += Probed.SplicedSuffix;
+  }
+  // The subject guarantees splicing fires: switching `if (i > 100)`
+  // leaves the suffix's observable state untouched.
+  EXPECT_GT(TotalSpliced, 0u);
+}
+
+// The probe must stay byte-invisible on arbitrary programs too, where
+// reconvergence rarely fires but must never corrupt when it does.
+TEST_P(SwitchedRunEquivalence, ReconvergeProbeIsInvisibleOnRandomPrograms) {
+  auto S = Subject::make(GetParam());
+  if (!S)
+    GTEST_SKIP() << "degenerate program";
+  std::vector<TraceIdx> Preds = predicateInstances(S->Original);
+  if (Preds.empty())
+    GTEST_SKIP() << "no predicate instances";
+
+  CheckpointStore Store(64ull << 20);
+  CheckpointPlan Plan;
+  Plan.Store = &Store;
+  for (size_t I = 0; I < Preds.size(); I += 2)
+    Plan.Sites.push_back(Preds[I]);
+  Interpreter::Options CollectOpts;
+  CollectOpts.MaxSteps = kBudget;
+  CollectOpts.Checkpoints = &Plan;
+  (void)S->Interp->run(S->Input, CollectOpts);
+  if (Plan.Collected == 0)
+    GTEST_SKIP() << "all sites dirty";
+
+  align::RegionTree Tree(S->Original);
+  ReconvergePlan Probe = align::buildReconvergePlan(
+      S->Original, Tree, Store.sample(MaxReconvergeSites));
+  if (Probe.Sites.empty())
+    GTEST_SKIP() << "no probe sites";
+
+  ExecContext Ctx;
+  for (size_t N = 0; N < Preds.size(); N += 3) {
+    TraceIdx P = Preds[N];
+    const StepRecord &Step = S->Original.step(P);
+    SwitchSpec Spec{Step.Stmt, Step.InstanceNo};
+    ExecutionTrace Plain = S->Interp->runSwitched(S->Input, Spec, kBudget);
+
+    Interpreter::Options Opts;
+    Opts.MaxSteps = kBudget;
+    Opts.Switch = Spec;
+    Opts.Reconverge = &Probe;
+    ExecutionTrace Probed = S->Interp->run(S->Input, Opts, Ctx);
+    expectSameTrace(Plain, Probed, GetParam(), P);
+  }
+}
+
+} // namespace

@@ -10,7 +10,8 @@
 // it, and the demand-driven locator finds it. Any deviation is printed
 // with the offending seed and program for triage.
 //
-//   eoe-fuzz [--fuzz=pipeline|diskstore] [--seeds N] [--start S] [--verbose]
+//   eoe-fuzz [--fuzz=pipeline|diskstore|switched] [--seeds N] [--start S]
+//            [--verbose]
 //
 // --fuzz=diskstore targets the persistent checkpoint cache instead:
 // each seed serializes a random program's snapshots, round-trips them,
@@ -19,6 +20,13 @@
 // rejects cleanly or decodes the original state exactly -- never
 // crashes, never fabricates a snapshot.
 //
+// --fuzz=switched targets the switched-run snapshot cache: each
+// reproducing seed runs the locator three times -- cache off, cache on
+// (two sessions around a seal(), so the second actually resumes from
+// divergence-keyed snapshots and splices reconvergent suffixes), and
+// cache size-capped -- and asserts the critical predicates, counters,
+// and final pruned slice are bit-identical across all three.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/DebugSession.h"
@@ -26,6 +34,7 @@
 #include "interp/CheckpointDiskStore.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
@@ -262,6 +271,128 @@ bool runDiskstoreSeed(uint64_t Seed, bool Verbose, DiskTally &T) {
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Switched-cache fuzzing: the divergence-keyed snapshot cache must be
+// invisible in every result -- only the re-execution work may change.
+//===----------------------------------------------------------------------===//
+
+struct SwitchedTally {
+  size_t Generated = 0;
+  size_t Masked = 0;
+  size_t Hits = 0;
+  size_t Splices = 0;
+  size_t Failures = 0;
+};
+
+/// Everything the locator decides, canonicalized for comparison: the
+/// verified implicit edges (the "critical predicates"), the Table 3
+/// counters, and the final pruned slice.
+std::string locateSignature(core::DebugSession &Session,
+                            const core::LocateReport &R) {
+  std::string Sig;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "found=%d it=%zu ver=%zu re=%zu edges=%zu/%zu\n",
+                R.RootCauseFound, R.Iterations, R.Verifications,
+                R.Reexecutions, R.ExpandedEdges, R.StrongEdges);
+  Sig += Buf;
+  for (const auto &E : Session.graph().implicitEdges()) {
+    std::snprintf(Buf, sizeof(Buf), "edge %u->%u strong=%d\n", E.Use, E.Pred,
+                  E.Strong);
+    Sig += Buf;
+  }
+  for (TraceIdx I : R.FinalPrunedSlice) {
+    std::snprintf(Buf, sizeof(Buf), "ps %u\n", I);
+    Sig += Buf;
+  }
+  return Sig;
+}
+
+/// Locates twice (two sessions around a seal(), so the second session's
+/// switched runs actually resume from the first's staged snapshots) and
+/// returns the concatenated signatures. \p CacheBytes 0 = reference.
+/// Each pass gets a fresh registry (report counters read absolute
+/// registry values); cache activity is summed into \p Tally when given.
+std::string locateTwice(const lang::Program &Faulty,
+                        const std::vector<int64_t> &Input,
+                        const std::vector<int64_t> &Expected, StmtId Root,
+                        size_t CacheBytes, SwitchedTally *Tally) {
+  interp::SwitchedRunStore Store(CacheBytes);
+  std::string Sig;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    support::StatsRegistry Stats;
+    core::DebugSession::Config C;
+    C.Locate.SwitchedCacheBytes = CacheBytes;
+    if (CacheBytes > 0)
+      C.SwitchedRuns = &Store;
+    C.Stats = &Stats;
+    core::DebugSession Session(Faulty, Input, Expected, {}, C);
+    if (!Session.hasFailure())
+      return Sig; // Caller already checked; belt and braces.
+    RootOnlyOracle Oracle(Root);
+    core::LocateReport R = Session.locate(Oracle);
+    Sig += locateSignature(Session, R);
+    Store.seal();
+    if (Tally) {
+      Tally->Hits += static_cast<size_t>(
+          Stats.counter("verify.ckpt.switched_hits").get());
+      Tally->Splices += static_cast<size_t>(
+          Stats.counter("verify.ckpt.switched_spliced_suffix_steps").get());
+    }
+  }
+  return Sig;
+}
+
+bool runSwitchedSeed(uint64_t Seed, bool Verbose, SwitchedTally &T) {
+  gen::RandomProgramGenerator Gen(Seed);
+  auto Variant = Gen.generateOmission();
+  ++T.Generated;
+
+  DiagnosticEngine Diags;
+  auto Fixed = lang::parseAndCheck(Variant.FixedSource, Diags);
+  auto Faulty = lang::parseAndCheck(Variant.FaultySource, Diags);
+  if (!Fixed || !Faulty) {
+    std::printf("seed %llu: GENERATED PROGRAM DOES NOT PARSE\n%s\n",
+                static_cast<unsigned long long>(Seed), Diags.str().c_str());
+    ++T.Failures;
+    return false;
+  }
+  analysis::StaticAnalysis FixedSA(*Fixed);
+  interp::Interpreter FixedInterp(*Fixed, FixedSA);
+  std::vector<int64_t> Expected =
+      FixedInterp.run(Variant.Input).outputValues();
+  {
+    core::DebugSession Probe(*Faulty, Variant.Input, Expected, {});
+    if (!Probe.hasFailure()) {
+      ++T.Masked;
+      return true;
+    }
+  }
+  StmtId Root = Faulty->statementAtLine(Variant.RootCauseLine);
+
+  std::string Off = locateTwice(*Faulty, Variant.Input, Expected, Root,
+                                /*CacheBytes=*/0, nullptr);
+  std::string On = locateTwice(*Faulty, Variant.Input, Expected, Root,
+                               interp::DefaultSwitchedCacheBytes, &T);
+  // A tight cap forces the LRU admission path; 64 KiB keeps a bundle or
+  // two while evicting the rest.
+  std::string Capped = locateTwice(*Faulty, Variant.Input, Expected, Root,
+                                   /*CacheBytes=*/64 << 10, nullptr);
+
+  bool Ok = On == Off && Capped == Off;
+  if (!Ok) {
+    std::printf("seed %llu: SWITCHED CACHE CHANGED THE RESULT (on %s, "
+                "capped %s)\n--- off ---\n%s--- on ---\n%s%s\n",
+                static_cast<unsigned long long>(Seed),
+                On == Off ? "ok" : "DIFFERS",
+                Capped == Off ? "ok" : "DIFFERS", Off.c_str(), On.c_str(),
+                Variant.FaultySource.c_str());
+    ++T.Failures;
+  } else if (Verbose) {
+    std::printf("seed %llu: ok\n", static_cast<unsigned long long>(Seed));
+  }
+  return Ok;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -279,13 +410,23 @@ int main(int Argc, char **Argv) {
     else if (std::strncmp(Argv[I], "--fuzz=", 7) == 0)
       Mode = Argv[I] + 7;
     else {
-      std::fprintf(stderr, "usage: eoe-fuzz [--fuzz=pipeline|diskstore] "
-                           "[--seeds N] [--start S] [--verbose]\n");
+      std::fprintf(stderr, "usage: eoe-fuzz [--fuzz=pipeline|diskstore|"
+                           "switched] [--seeds N] [--start S] [--verbose]\n");
       return 2;
     }
   }
 
   Timer Clock;
+  if (Mode == "switched") {
+    SwitchedTally T;
+    for (uint64_t Seed = Start; Seed < Start + Seeds; ++Seed)
+      runSwitchedSeed(Seed, Verbose, T);
+    std::printf("switched-fuzzed %zu programs in %s s: %zu masked, %zu "
+                "snapshot hits, %zu spliced steps, %zu violations\n",
+                T.Generated, formatDouble(Clock.seconds(), 2).c_str(),
+                T.Masked, T.Hits, T.Splices, T.Failures);
+    return T.Failures == 0 ? 0 : 1;
+  }
   if (Mode == "diskstore") {
     DiskTally T;
     for (uint64_t Seed = Start; Seed < Start + Seeds; ++Seed)

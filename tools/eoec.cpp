@@ -56,6 +56,8 @@ struct CliOptions {
   bool CheckpointDelta = true;
   bool CheckpointShare = true;
   std::string CheckpointDir;
+  size_t CheckpointDirCapBytes = 0;
+  size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
   uint32_t Line = 0;
   uint32_t Instance = 1;
   uint32_t RootLine = 0;
@@ -95,12 +97,20 @@ void usage() {
       "  --max-steps N         step budget (default 5000000)\n"
       "  --threads N           verification worker threads (locate);\n"
       "                        0 = all hardware threads, 1 = serial\n"
+      "  --no-trace            run without dependence tracing (run)\n"
+      "  --stats[=json]        per-phase pipeline statistics: a table on\n"
+      "                        stderr, or =json for schema eoe-stats-v1\n"
+      "                        JSON as the last stdout line\n"
+      "  --trace-out=FILE      write a Chrome trace_event JSON timeline\n"
+      "                        (open in chrome://tracing or Perfetto)\n"
+      "checkpoint options (locate; every knob yields bit-identical\n"
+      "reports -- they only trade re-execution work for memory/disk):\n"
       "  --checkpoints=N|auto|off\n"
-      "                        checkpoint stride for switched runs\n"
-      "                        (locate): snapshot every Nth candidate\n"
-      "                        predicate instance and resume instead of\n"
-      "                        replaying the prefix; auto (default) tunes\n"
-      "                        the stride from trace length, candidate\n"
+      "                        checkpoint stride for switched runs:\n"
+      "                        snapshot every Nth candidate predicate\n"
+      "                        instance and resume instead of replaying\n"
+      "                        the prefix; auto (default) tunes the\n"
+      "                        stride from trace length, candidate\n"
       "                        density, and the memory budget; off = full\n"
       "                        replay\n"
       "  --checkpoint-mem MB   checkpoint LRU memory budget in MiB\n"
@@ -112,18 +122,25 @@ void usage() {
       "  --checkpoint-share=on|off\n"
       "                        promote input-independent snapshots into a\n"
       "                        cross-session store (default on)\n"
-      "  --checkpoint-dir=DIR  persistent checkpoint cache (locate): load\n"
+      "  --switched-cache=MB|off\n"
+      "                        switched-run snapshot cache: capture\n"
+      "                        divergence-keyed snapshots past the switch\n"
+      "                        point, resume deeper switched runs from\n"
+      "                        them, and splice the original trace's\n"
+      "                        suffix once a switched run reconverges\n"
+      "                        (default 64 MiB; off = always interpret\n"
+      "                        the full switched run)\n"
+      "  --checkpoint-dir=DIR  persistent checkpoint cache: load\n"
       "                        input-independent snapshots for this\n"
       "                        program from DIR on start and write them\n"
       "                        back atomically on exit, warm-starting\n"
       "                        later invocations (requires\n"
       "                        --checkpoint-share=on)\n"
-      "  --no-trace            run without dependence tracing (run)\n"
-      "  --stats[=json]        per-phase pipeline statistics: a table on\n"
-      "                        stderr, or =json for schema eoe-stats-v1\n"
-      "                        JSON as the last stdout line\n"
-      "  --trace-out=FILE      write a Chrome trace_event JSON timeline\n"
-      "                        (open in chrome://tracing or Perfetto)\n");
+      "  --checkpoint-dir-cap=MB\n"
+      "                        after saving, cap DIR at MB MiB: delete\n"
+      "                        stale writer temp files, then evict cache\n"
+      "                        files oldest-first until under the cap\n"
+      "                        (default: unlimited)\n");
 }
 
 std::vector<int64_t> parseIntList(const std::string &Text) {
@@ -210,6 +227,31 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--checkpoint-share=", 0) == 0) {
       Opts.CheckpointShare =
           Arg.substr(std::strlen("--checkpoint-share=")) != "off";
+    } else if (Arg.rfind("--switched-cache=", 0) == 0) {
+      std::string V = Arg.substr(std::strlen("--switched-cache="));
+      Opts.SwitchedCacheBytes =
+          V == "off" ? 0
+                     : static_cast<size_t>(
+                           std::strtoull(V.c_str(), nullptr, 10))
+                           << 20;
+    } else if (Arg == "--switched-cache") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SwitchedCacheBytes =
+          std::strcmp(V, "off") == 0
+              ? 0
+              : static_cast<size_t>(std::strtoull(V, nullptr, 10)) << 20;
+    } else if (Arg.rfind("--checkpoint-dir-cap=", 0) == 0) {
+      Opts.CheckpointDirCapBytes =
+          std::strtoull(Arg.c_str() + std::strlen("--checkpoint-dir-cap="),
+                        nullptr, 10)
+          << 20;
+    } else if (Arg == "--checkpoint-dir-cap") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CheckpointDirCapBytes = std::strtoull(V, nullptr, 10) << 20;
     } else if (Arg.rfind("--checkpoint-dir=", 0) == 0) {
       Opts.CheckpointDir = Arg.substr(std::strlen("--checkpoint-dir="));
     } else if (Arg == "--checkpoint-dir") {
@@ -454,13 +496,17 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   Config.Locate.CheckpointDelta = Opts.CheckpointDelta;
   Config.Locate.CheckpointShare = Opts.CheckpointShare;
   Config.Locate.CheckpointDir = Opts.CheckpointDir;
+  Config.Locate.SwitchedCacheBytes = Opts.SwitchedCacheBytes;
   Config.Stats = Opts.StatsReg;
   Config.Tracer = Opts.Tracer;
-  // One CLI invocation is one session, but wiring the store keeps the
-  // promotion path (and its counters) live for --stats users.
+  // One CLI invocation is one session, but wiring the stores keeps the
+  // promotion paths (and their counters) live for --stats users.
   interp::SharedCheckpointStore Shared;
   if (Opts.CheckpointShare)
     Config.SharedCheckpoints = &Shared;
+  interp::SwitchedRunStore SwitchedRuns(Opts.SwitchedCacheBytes);
+  if (Opts.SwitchedCacheBytes > 0)
+    Config.SwitchedRuns = &SwitchedRuns;
   core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
     std::printf("no failure: outputs match the expected sequence\n");
@@ -476,6 +522,11 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
     if (!Disk.save(Shared, Prog, Config.Locate.MaxSteps, Opts.StatsReg))
       std::fprintf(stderr, "warning: could not write checkpoint cache in %s\n",
                    Opts.CheckpointDir.c_str());
+    // Cap the directory after the save so this invocation's own file
+    // competes for the budget on equal (freshest-mtime) footing.
+    if (Opts.CheckpointDirCapBytes > 0)
+      Disk.sweep(Opts.CheckpointDirCapBytes, std::chrono::hours(1),
+                 Opts.StatsReg);
   }
   std::printf("located: %s\n", R.RootCauseFound ? "yes" : "no");
   std::printf("iterations=%zu verifications=%zu re-executions=%zu "
