@@ -34,8 +34,18 @@
 // across the two sessions versus cache off -- a pure counter
 // comparison, asserted on any machine; wall clock is reported only.
 //
+// A fourth phase measures depth-2 perturbation chains (docs/chains.md):
+// a fault no single switch exposes, with a heavy loop between the two
+// chained predicates. With snapshot reuse on, chain runs resume from
+// divergence-keyed snapshots staged by the single-switch verdict pass
+// (the store's longest-matching-prefix lookup); the deterministic
+// counter verify.chain.extended_steps must drop >= 1.3x versus reuse
+// off, with prefix hits observed and bit-identical locate outcomes at
+// 1 and 4 threads.
+//
 // Emits machine-readable results to BENCH_checkpoint.json,
-// BENCH_checkpoint_compress.json, and BENCH_switchedrun.json.
+// BENCH_checkpoint_compress.json, BENCH_switchedrun.json, and
+// BENCH_chain.json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +55,7 @@
 #include "interp/CheckpointDiskStore.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
+#include "support/Options.h"
 #include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -289,28 +300,99 @@ struct SwitchedRow {
   }
 };
 
+// ---- Perturbation-chain subject --------------------------------------
+//
+// A fault no single switch exposes (the ChainSearchTest shape: the root
+// guard opens g, and x needs BOTH the outer `if (g)` and the inner
+// `if (t)` forced) with a heavy loop *inside* the outer guard's region,
+// between the two chained predicates. The loop only executes in
+// switched runs, so original-run checkpoints cannot skip it: with the
+// switched-run cache off, every depth-2 chain run re-interprets it.
+// With the cache on, the outer guard's single-switch run (issued by the
+// verdict pass) stages divergence-keyed snapshots past the loop, and
+// the chain runs resume from them through the store's longest-matching-
+// prefix lookup -- verify.chain.extended_steps is the deterministic
+// counter that measures exactly the interpretation the lookup avoids.
+
+constexpr int ChainIters = 6000;
+constexpr int ChainWarmupIters = 3000;
+constexpr uint32_t ChainRootLine = 1;
+constexpr unsigned ChainDepth = 2;
+constexpr unsigned ChainBudget = 32;
+
+std::string chainSubject(bool Fixed) {
+  // The warmup loop runs in EVERY execution, failing one included: the
+  // engine scales its switched-capture spacing from the original trace's
+  // length, so without it (the failing run skips both guarded regions
+  // and is a few dozen steps long) all snapshots would bunch up right
+  // after the switch point and the prefix hit would save nothing.
+  std::string Src;
+  Src += std::string("var t = ") + (Fixed ? "1" : "0") + ";\n"; // 1: root
+  Src += "var g = 0;\n"                                         // 2
+         "fn main() {\n"                                        // 3
+         "var w = 0;\n"
+         "var burn = 0;\n"
+         "while (w < " + std::to_string(ChainWarmupIters) + ") {\n"
+         "burn = (burn * 7 + w) % 9973;\n"
+         "w = w + 1;\n"
+         "}\n"
+         "if (t) {\n" // 10: opens g
+         "g = 1;\n"
+         "}\n"
+         "var x = 0;\n"
+         "var acc = 0;\n"
+         "if (g) {\n" // 15: q, the chain's base
+         "var i = 0;\n"
+         "while (i < " + std::to_string(ChainIters) + ") {\n"
+         "acc = (acc * 31 + i) % 65521;\n"
+         "i = i + 1;\n"
+         "}\n"
+         "if (t) {\n" // 21: r, the chain's extension
+         "x = 1;\n"
+         "}\n"
+         "}\n"
+         "print(x);\n"
+         "}\n";
+  return Src;
+}
+
+struct ChainRow {
+  unsigned Threads = 0;
+  bool Reuse = false;
+  double LocateMs = 0;
+  uint64_t ChainRuns = 0;
+  uint64_t ExtendedSteps = 0;
+  uint64_t PrefixHits = 0;
+  uint64_t Searches = 0;
+  uint64_t Commits = 0;
+  RunResult Outcome;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  // --checkpoint-dir=DIR persists the shared checkpoint store across
-  // bench invocations (CI runs the bench twice over one directory);
-  // --expect-disk-hits asserts the warm run actually resumed switched
-  // runs from disk-loaded snapshots.
-  std::string CheckpointDir;
+  // Flags come from the shared parser (--checkpoint-dir=DIR persists the
+  // shared checkpoint store across bench invocations; CI runs the bench
+  // twice over one directory). The bench-specific --expect-disk-hits
+  // asserts the warm run actually resumed switched runs from
+  // disk-loaded snapshots.
+  eoe::Options CliOpt;
   bool ExpectDiskHits = false;
   for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg.rfind("--checkpoint-dir=", 0) == 0)
-      CheckpointDir = Arg.substr(17);
-    else if (Arg == "--expect-disk-hits")
+    if (std::string(Argv[I]) == "--expect-disk-hits") {
       ExpectDiskHits = true;
-    else {
-      std::fprintf(stderr,
-                   "usage: bench_checkpoint [--checkpoint-dir=DIR] "
-                   "[--expect-disk-hits]\n");
-      return 2;
+      continue;
     }
+    if (support::parseCommonOption(Argc, Argv, I, CliOpt) ==
+        support::ParseResult::Ok)
+      continue;
+    std::fprintf(stderr,
+                 "usage: bench_checkpoint [--expect-disk-hits] "
+                 "[common options]\n%s",
+                 support::commonOptionsHelp());
+    return 2;
   }
+  const std::string &CheckpointDir = CliOpt.Reuse.CheckpointDir;
 
   bench::banner("Checkpointed switched-run re-execution: locateFault "
                 "wall-clock, snapshot/resume vs full prefix replay "
@@ -917,6 +999,184 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "could not write %s\n", SwJsonPath);
   }
 
+  // ---- Phase 4: multi-switch perturbation chains ---------------------
+
+  bench::banner("Perturbation chains: depth-2 chain search, snapshot reuse "
+                "{off, on} x {1, 4 threads} (bit-identical results "
+                "required; >= 1.3x extended-step reduction and prefix "
+                "hits required for the reuse rows)");
+
+  auto ChFixed = lang::parseAndCheck(chainSubject(/*Fixed=*/true), Diags);
+  auto ChFaulty = lang::parseAndCheck(chainSubject(/*Fixed=*/false), Diags);
+  if (!ChFixed || !ChFaulty) {
+    std::fprintf(stderr, "chain parse error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  analysis::StaticAnalysis ChFixedSA(*ChFixed);
+  interp::Interpreter ChFixedInterp(*ChFixed, ChFixedSA);
+  std::vector<int64_t> ChExpected = ChFixedInterp.run({}).outputValues();
+  StmtId ChRoot = ChFaulty->statementAtLine(ChainRootLine);
+  if (!isValidId(ChRoot)) {
+    std::fprintf(stderr, "no statement at chain root line %u\n",
+                 ChainRootLine);
+    return 1;
+  }
+
+  std::vector<ChainRow> ChRows;
+  for (unsigned Threads : {1u, 4u}) {
+    for (bool Reuse : {false, true}) {
+      ChainRow Row;
+      Row.Threads = Threads;
+      Row.Reuse = Reuse;
+      // One store per cell: the verdict pass stages the single-switch
+      // bundles, ChainSearch seals before each frontier depth, and the
+      // chain runs look them up -- all inside one locate call.
+      interp::SwitchedRunStore ChStore(interp::DefaultSwitchedCacheBytes);
+      support::StatsRegistry Stats;
+      DebugSession::Config C;
+      C.Opt.Exec.Threads = Threads;
+      C.Opt.Exec.Stats = &Stats;
+      C.Opt.Reuse.ChainDepth = ChainDepth;
+      C.Opt.Reuse.ChainBudget = ChainBudget;
+      C.Opt.Reuse.SwitchedCacheBytes =
+          Reuse ? interp::DefaultSwitchedCacheBytes : 0;
+      if (Reuse)
+        C.SwitchedRuns = &ChStore;
+      DebugSession Session(*ChFaulty, {}, ChExpected, {}, C);
+      if (!Session.hasFailure()) {
+        std::fprintf(stderr, "chain fault did not reproduce\n");
+        return 1;
+      }
+      RootOnlyOracle Oracle(ChRoot);
+      Timer LocateTimer;
+      Row.Outcome.Report = Session.locate(Oracle);
+      Row.LocateMs = LocateTimer.seconds() * 1000;
+      Row.Outcome.Edges = Session.graph().implicitEdges();
+      if (!Row.Outcome.Report.RootCauseFound) {
+        std::fprintf(stderr,
+                     "chain root cause not found (threads=%u reuse=%s)\n",
+                     Threads, Reuse ? "on" : "off");
+        return 1;
+      }
+      Row.ChainRuns = Stats.counter("verify.chain.runs").get();
+      Row.ExtendedSteps = Stats.counter("verify.chain.extended_steps").get();
+      Row.PrefixHits = Stats.counter("verify.chain.prefix_hits").get();
+      Row.Searches = Stats.counter("locate.chain.searches").get();
+      Row.Commits = Stats.counter("locate.chain.commits").get();
+      ChRows.push_back(std::move(Row));
+    }
+  }
+
+  // Determinism: reuse on/off and thread count change chain *work*, not
+  // any locate outcome, and the chain counters themselves are invariant
+  // across thread counts at fixed reuse config.
+  const ChainRow &ChBaseline = ChRows.front(); // threads=1, reuse off
+  bool ChIdentical = true;
+  for (const ChainRow &Row : ChRows)
+    ChIdentical = ChIdentical && sameOutcome(ChBaseline.Outcome, Row.Outcome);
+  bool ChCountersStable = true;
+  for (const ChainRow &A : ChRows)
+    for (const ChainRow &B : ChRows)
+      if (A.Reuse == B.Reuse &&
+          (A.ChainRuns != B.ChainRuns || A.ExtendedSteps != B.ExtendedSteps ||
+           A.PrefixHits != B.PrefixHits || A.Commits != B.Commits))
+        ChCountersStable = false;
+
+  // The acceptance ratio: chain steps actually interpreted, reuse off vs
+  // on, per thread count.
+  double ChReduction1 = 0, ChReduction4 = 0;
+  bool ChPrefixOk = true;
+  for (const ChainRow &Row : ChRows) {
+    if (!Row.Reuse)
+      continue;
+    const ChainRow *Off = nullptr;
+    for (const ChainRow &O : ChRows)
+      if (O.Threads == Row.Threads && !O.Reuse)
+        Off = &O;
+    double R = Row.ExtendedSteps
+                   ? static_cast<double>(Off->ExtendedSteps) /
+                         static_cast<double>(Row.ExtendedSteps)
+                   : 0;
+    (Row.Threads == 1 ? ChReduction1 : ChReduction4) = R;
+    ChPrefixOk = ChPrefixOk && Row.PrefixHits > 0;
+  }
+  const bool ChReductionOk = ChReduction1 >= 1.3 && ChReduction4 >= 1.3;
+
+  Table ChT({"threads", "reuse", "locate (ms)", "chain runs", "ext steps",
+             "reduction", "prefix hits", "searches", "commits", "identical"});
+  for (const ChainRow &Row : ChRows) {
+    const ChainRow *Off = nullptr;
+    for (const ChainRow &O : ChRows)
+      if (O.Threads == Row.Threads && !O.Reuse)
+        Off = &O;
+    double R = Row.ExtendedSteps
+                   ? static_cast<double>(Off->ExtendedSteps) /
+                         static_cast<double>(Row.ExtendedSteps)
+                   : 0;
+    ChT.addRow({std::to_string(Row.Threads), Row.Reuse ? "on" : "off",
+                formatDouble(Row.LocateMs, 2), std::to_string(Row.ChainRuns),
+                std::to_string(Row.ExtendedSteps), formatDouble(R, 2),
+                std::to_string(Row.PrefixHits), std::to_string(Row.Searches),
+                std::to_string(Row.Commits),
+                sameOutcome(ChBaseline.Outcome, Row.Outcome) ? "yes" : "NO"});
+  }
+  std::printf("%s", ChT.str().c_str());
+  std::printf("\nchain subject: depth-%u chain over a %d-iteration loop "
+              "inside the base guard's region\n",
+              ChainDepth, ChainIters);
+  std::printf("chain extended-step reduction (reuse on vs off): %sx at 1 "
+              "thread, %sx at 4 threads (required >= 1.3x): %s\n",
+              formatDouble(ChReduction1, 2).c_str(),
+              formatDouble(ChReduction4, 2).c_str(),
+              ChReductionOk ? "PASS" : "FAIL");
+  std::printf("chain prefix hits in every reuse row: %s\n",
+              ChPrefixOk ? "PASS" : "FAIL");
+  std::printf("chain determinism (reuse off/on, 1/4 threads): %s\n",
+              ChIdentical && ChCountersStable ? "BIT-IDENTICAL"
+                                              : "MISMATCH (bug!)");
+
+  const char *ChJsonPath = "BENCH_chain.json";
+  if (std::FILE *F = std::fopen(ChJsonPath, "w")) {
+    std::fprintf(F, "{\n");
+    std::fprintf(F, "  \"bench\": \"bench_chain\",\n");
+    std::fprintf(F,
+                 "  \"subject\": {\"chain_depth\": %u, \"chain_budget\": %u, "
+                 "\"loop_iters\": %d},\n",
+                 ChainDepth, ChainBudget, ChainIters);
+    std::fprintf(F, "  \"rows\": [\n");
+    for (size_t I = 0; I < ChRows.size(); ++I) {
+      const ChainRow &Row = ChRows[I];
+      std::fprintf(
+          F,
+          "    {\"threads\": %u, \"reuse\": %s, \"locate_ms\": %.3f, "
+          "\"chain_runs\": %llu, \"extended_steps\": %llu, "
+          "\"prefix_hits\": %llu, \"searches\": %llu, \"commits\": %llu, "
+          "\"identical_to_baseline\": %s}%s\n",
+          Row.Threads, Row.Reuse ? "true" : "false", Row.LocateMs,
+          static_cast<unsigned long long>(Row.ChainRuns),
+          static_cast<unsigned long long>(Row.ExtendedSteps),
+          static_cast<unsigned long long>(Row.PrefixHits),
+          static_cast<unsigned long long>(Row.Searches),
+          static_cast<unsigned long long>(Row.Commits),
+          sameOutcome(ChBaseline.Outcome, Row.Outcome) ? "true" : "false",
+          I + 1 < ChRows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"reduction_1t\": %.3f,\n", ChReduction1);
+    std::fprintf(F, "  \"reduction_4t\": %.3f,\n", ChReduction4);
+    std::fprintf(F, "  \"reduction_check\": \"%s\",\n",
+                 ChReductionOk ? "pass" : "fail");
+    std::fprintf(F, "  \"prefix_hits_check\": \"%s\",\n",
+                 ChPrefixOk ? "pass" : "fail");
+    std::fprintf(F, "  \"deterministic\": %s\n",
+                 ChIdentical && ChCountersStable ? "true" : "false");
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", ChJsonPath);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", ChJsonPath);
+  }
+
   // Persist the shared store for the next invocation: one cache file per
   // subject, keyed the way the sessions load (default LocateConfig step
   // budget).
@@ -946,6 +1206,8 @@ int main(int Argc, char **Argv) {
   if (!RatioOk)
     return 1;
   if (!SwIdentical || !SwCountersStable || !ReductionOk || !SwHitsOk)
+    return 1;
+  if (!ChIdentical || !ChCountersStable || !ChReductionOk || !ChPrefixOk)
     return 1;
   return 0;
 }

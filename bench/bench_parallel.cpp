@@ -27,6 +27,7 @@
 #include "core/DebugSession.h"
 #include "lang/Parser.h"
 #include "support/Diagnostic.h"
+#include "support/Options.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Timer.h"
@@ -108,7 +109,20 @@ bool sameOutcome(const RunResult &A, const RunResult &B) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // The thread sweep is fixed (it IS the experiment); every other knob
+  // -- checkpointing, caches, chain depth, step budget -- comes from the
+  // shared parser so ad-hoc reruns use the same flags as eoec.
+  eoe::Options BaseOpt;
+  for (int I = 1; I < Argc; ++I) {
+    if (support::parseCommonOption(Argc, Argv, I, BaseOpt) ==
+        support::ParseResult::Ok)
+      continue;
+    std::fprintf(stderr, "usage: bench_parallel [common options]\n%s",
+                 support::commonOptionsHelp());
+    return 2;
+  }
+
   bench::banner("Parallel verification engine: locateFault wall-clock vs "
                 "thread count (bit-identical results required)");
 
@@ -138,7 +152,8 @@ int main() {
   size_t TraceLen = 0;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     DebugSession::Config C;
-    C.Threads = Threads;
+    C.Opt = BaseOpt;
+    C.Opt.Exec.Threads = Threads;
     DebugSession Session(*Faulty, {}, Expected, {}, C);
     if (!Session.hasFailure()) {
       std::fprintf(stderr, "fault did not reproduce\n");

@@ -82,6 +82,16 @@ public:
                    support::StatsRegistry *Stats = nullptr,
                    const RegionTree *SharedOriginalTree = nullptr);
 
+  /// Convenience overload for callers that already hold \p Original's
+  /// RegionTree: passing the tree by reference makes the sharing
+  /// mandatory (no silently rebuilding it on a typo'd null) and keeps
+  /// the stats sink optional.
+  ExecutionAligner(const interp::ExecutionTrace &Original,
+                   const interp::ExecutionTrace &Switched,
+                   const RegionTree &SharedOriginalTree,
+                   support::StatsRegistry *Stats = nullptr)
+      : ExecutionAligner(Original, Switched, Stats, &SharedOriginalTree) {}
+
   // TreeE may point into OwnedTreeE, so the aligner must stay put.
   ExecutionAligner(const ExecutionAligner &) = delete;
   ExecutionAligner &operator=(const ExecutionAligner &) = delete;

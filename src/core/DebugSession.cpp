@@ -23,23 +23,25 @@ DebugSession::DebugSession(const lang::Program &Prog,
                            Config CIn)
     : Prog(Prog), FailingInput(std::move(FailingInputIn)),
       ExpectedOutputs(std::move(ExpectedOutputsIn)), C(CIn), SA(Prog),
-      Interp(Prog, SA, CIn.Stats), Prof(Prog.statements().size()) {
-  const bool ShareWired = C.Locate.CheckpointShare && C.SharedCheckpoints;
+      Interp(Prog, SA, CIn.Opt.Exec.Stats), Prof(Prog.statements().size()) {
+  const bool ShareWired = C.Opt.Reuse.CheckpointShare && C.SharedCheckpoints;
 
   // Warm start: revive this (program, budget) key's persisted snapshots
   // into the shared store before anything runs. Best-effort -- a missing
   // or corrupt cache only costs the warm start (and bumps
   // verify.ckpt.disk_rejects), never the session.
-  if (ShareWired && !C.Locate.CheckpointDir.empty()) {
-    support::EventTracer::Span LoadSpan(C.Tracer, "ckpt.disk_load", "interp");
-    interp::CheckpointDiskStore Disk(C.Locate.CheckpointDir);
-    Disk.load(*C.SharedCheckpoints, Prog, C.Locate.MaxSteps, C.Stats);
+  if (ShareWired && !C.Opt.Reuse.CheckpointDir.empty()) {
+    support::EventTracer::Span LoadSpan(C.Opt.Exec.Tracer, "ckpt.disk_load",
+                                        "interp");
+    interp::CheckpointDiskStore Disk(C.Opt.Reuse.CheckpointDir);
+    Disk.load(*C.SharedCheckpoints, Prog, C.Locate.MaxSteps, C.Opt.Exec.Stats);
   }
 
   {
-    support::EventTracer::Span ProfileSpan(C.Tracer, "profile", "interp");
+    support::EventTracer::Span ProfileSpan(C.Opt.Exec.Tracer, "profile",
+                                           "interp");
     ProfileOptions PO;
-    PO.MaxStepsPerRun = C.MaxSteps;
+    PO.MaxStepsPerRun = C.Opt.Exec.MaxSteps;
     if (ShareWired) {
       // The profiler's re-executions double as checkpoint collection for
       // the shared store (and thus, via the session owner's save, for
@@ -51,21 +53,21 @@ DebugSession::DebugSession(const lang::Program &Prog,
   }
 
   Interpreter::Options Opts;
-  Opts.MaxSteps = C.MaxSteps;
+  Opts.MaxSteps = C.Opt.Exec.MaxSteps;
   {
-    support::EventTracer::Span InterpretSpan(C.Tracer, "interpret", "interp");
+    support::EventTracer::Span InterpretSpan(C.Opt.Exec.Tracer, "interpret", "interp");
     Trace = Interp.run(FailingInput, Opts);
   }
   Verdicts = diffOutputs(Trace, ExpectedOutputs);
-  if (C.Stats)
-    C.Stats->histogram("session.trace_steps").record(Trace.size());
+  if (C.Opt.Exec.Stats)
+    C.Opt.Exec.Stats->histogram("session.trace_steps").record(Trace.size());
   if (!Verdicts)
     return;
 
   {
-    support::EventTracer::Span GraphSpan(C.Tracer, "graph", "ddg");
+    support::EventTracer::Span GraphSpan(C.Opt.Exec.Tracer, "graph", "ddg");
     support::ScopedTimer Timed(
-        C.Stats ? &C.Stats->timer("session.graph_build_time") : nullptr);
+        C.Opt.Exec.Stats ? &C.Opt.Exec.Stats->timer("session.graph_build_time") : nullptr);
     Graph = std::make_unique<ddg::DepGraph>(Trace);
   }
   PD = std::make_unique<PotentialDepAnalyzer>(
@@ -76,28 +78,28 @@ DebugSession::DebugSession(const lang::Program &Prog,
   ImplicitDepVerifier::Config VC;
   VC.MaxSteps = C.Locate.MaxSteps;
   VC.UsePathCheck = C.Locate.UsePathCheck;
-  VC.Threads = C.Threads;
-  VC.CheckpointStride = C.Locate.Checkpoints;
-  VC.CheckpointMemBytes = C.Locate.CheckpointMemBytes;
-  VC.CheckpointDelta = C.Locate.CheckpointDelta;
-  if (C.Locate.CheckpointShare && C.SharedCheckpoints) {
+  VC.Threads = C.Opt.Exec.Threads;
+  VC.CheckpointStride = C.Opt.Reuse.Checkpoints;
+  VC.CheckpointMemBytes = C.Opt.Reuse.CheckpointMemBytes;
+  VC.CheckpointDelta = C.Opt.Reuse.CheckpointDelta;
+  if (C.Opt.Reuse.CheckpointShare && C.SharedCheckpoints) {
     VC.CheckpointShare = C.SharedCheckpoints;
     VC.CheckpointShareProgram = &Prog;
   }
-  VC.SwitchedCacheBytes = C.Locate.SwitchedCacheBytes;
+  VC.SwitchedCacheBytes = C.Opt.Reuse.SwitchedCacheBytes;
   if (C.SwitchedRuns) {
     VC.SwitchedRuns = C.SwitchedRuns;
     VC.SwitchedProgram = &Prog;
   }
-  VC.Stats = C.Stats;
-  VC.Tracer = C.Tracer;
+  VC.Stats = C.Opt.Exec.Stats;
+  VC.Tracer = C.Opt.Exec.Tracer;
   Verifier = std::make_unique<ImplicitDepVerifier>(Interp, Trace,
                                                    FailingInput, *Verdicts, VC);
 }
 
 SliceResult DebugSession::dynamicSlice() const {
   assert(hasFailure() && "no failure to slice");
-  support::EventTracer::Span SliceSpan(C.Tracer, "dynamic_slice", "slicing");
+  support::EventTracer::Span SliceSpan(C.Opt.Exec.Tracer, "dynamic_slice", "slicing");
   // DS deliberately ignores implicit edges even if locate() added some.
   ddg::DepGraph::ClosureOptions Opts;
   Opts.Implicit = false;
@@ -105,10 +107,10 @@ SliceResult DebugSession::dynamicSlice() const {
   R.Member = Graph->backwardClosure(
       {Trace.Outputs.at(Verdicts->WrongOutput).Step}, Opts);
   R.Stats = Graph->stats(R.Member);
-  if (C.Stats) {
-    C.Stats->counter("slicing.dynamic_slices").add();
-    C.Stats->histogram("slicing.ds_static_stmts").record(R.Stats.StaticStmts);
-    C.Stats->histogram("slicing.ds_dynamic_instances")
+  if (C.Opt.Exec.Stats) {
+    C.Opt.Exec.Stats->counter("slicing.dynamic_slices").add();
+    C.Opt.Exec.Stats->histogram("slicing.ds_static_stmts").record(R.Stats.StaticStmts);
+    C.Opt.Exec.Stats->histogram("slicing.ds_dynamic_instances")
         .record(R.Stats.DynamicInstances);
   }
   return R;
@@ -116,13 +118,13 @@ SliceResult DebugSession::dynamicSlice() const {
 
 RelevantSliceResult DebugSession::relevantSlice() const {
   assert(hasFailure() && "no failure to slice");
-  support::EventTracer::Span SliceSpan(C.Tracer, "relevant_slice", "slicing");
+  support::EventTracer::Span SliceSpan(C.Opt.Exec.Tracer, "relevant_slice", "slicing");
   RelevantSliceResult R = relevantSliceOfWrongOutput(*Graph, *PD, *Verdicts);
-  if (C.Stats) {
-    C.Stats->counter("slicing.relevant_slices").add();
-    C.Stats->histogram("slicing.rs_static_stmts")
+  if (C.Opt.Exec.Stats) {
+    C.Opt.Exec.Stats->counter("slicing.relevant_slices").add();
+    C.Opt.Exec.Stats->histogram("slicing.rs_static_stmts")
         .record(R.Slice.Stats.StaticStmts);
-    C.Stats->histogram("slicing.rs_dynamic_instances")
+    C.Opt.Exec.Stats->histogram("slicing.rs_dynamic_instances")
         .record(R.Slice.Stats.DynamicInstances);
   }
   return R;
@@ -136,13 +138,12 @@ std::vector<TraceIdx> DebugSession::prunedSlice() const {
 
 LocateReport DebugSession::locate(Oracle &O) {
   assert(hasFailure() && "no failure to locate");
-  LocateConfig LC = C.Locate;
-  // Threads == 1 means "the serial reference engine": take the original
-  // one-at-a-time code path in locateFault, not batches of size one.
-  if (LC.Threads == 0 && C.Threads == 1)
-    LC.Threads = 1;
+  // Since Config::Opt and Locate.Opt share storage, the thread knob the
+  // verifier was built with is the one locateFault schedules by: at
+  // Threads == 1 it takes the original one-at-a-time serial path, not
+  // batches of size one.
   return locateFault(Prog, *Graph, *PD, *Verifier, &Prof.Values, *Verdicts, O,
-                     LC);
+                     C.Locate);
 }
 
 std::vector<bool> DebugSession::failureChain(StmtId RootCause) const {

@@ -47,35 +47,58 @@ public:
     /// profile-union graph, the pure static backend is more conservative.
     slicing::PotentialDepAnalyzer::Backend PDBackend =
         slicing::PotentialDepAnalyzer::Backend::Static;
-    /// Step budget for the failing run and each switched run.
-    uint64_t MaxSteps = 5'000'000;
-    /// Worker threads for the parallel verification engine backing
-    /// locate(): 0 = hardware_concurrency, 1 = the serial reference
-    /// engine. Any value yields bit-identical results (the parallel
-    /// engine joins deterministically; see docs/parallelism.md) -- the
-    /// knob only trades wall-clock time.
-    unsigned Threads = 0;
-    /// Observability sinks wired through every pipeline layer (the
-    /// interpreter, the context pool, the aligner, the verifier, pruning,
-    /// and locate). Null = off; see docs/observability.md.
-    support::StatsRegistry *Stats = nullptr;
-    support::EventTracer *Tracer = nullptr;
     /// Cross-session checkpoint sharing: when set (and
-    /// Locate.CheckpointShare is on), input-independent snapshots are
+    /// Opt.Reuse.CheckpointShare is on), input-independent snapshots are
     /// promoted into this store and later sessions over the same program
     /// seed their checkpoint stores from it. The store must outlive every
     /// session using it; the owner is whoever runs multiple sessions over
     /// one program (FaultRunner, a bench, the CLI).
     interp::SharedCheckpointStore *SharedCheckpoints = nullptr;
     /// Switched-run snapshot cache: when set (and
-    /// Locate.SwitchedCacheBytes > 0), switched runs stage divergence-
+    /// Opt.Reuse.SwitchedCacheBytes > 0), switched runs stage divergence-
     /// keyed snapshot bundles here and later sessions over the same
     /// (program, input, budget) resume from them. Same ownership rules as
     /// SharedCheckpoints; the owner must seal() the store between
     /// sessions for staged bundles to become visible.
     interp::SwitchedRunStore *SwitchedRuns = nullptr;
-    /// Algorithm 2 tunables.
+    /// Algorithm 2 tunables, including the unified knob bundle.
     LocateConfig Locate;
+
+    /// The unified knob bundle (support/Options.h). One storage location
+    /// shared with Locate.Opt, so session-level and locate-level code
+    /// configure the same knobs: Opt.Exec.MaxSteps is the failing-run
+    /// step budget, Opt.Exec.Threads the verification worker count,
+    /// Opt.Exec.Stats/Tracer the observability sinks wired through every
+    /// pipeline layer, and Opt.Reuse every checkpoint / switched-cache /
+    /// chain knob.
+    eoe::Options &Opt = Locate.Opt;
+
+    /// Deprecated: alias of Opt.Exec.MaxSteps (failing-run step budget;
+    /// switched verification runs use the tighter Locate.MaxSteps).
+    uint64_t &MaxSteps = Opt.Exec.MaxSteps;
+    /// Deprecated: alias of Opt.Exec.Threads. 0 = hardware_concurrency,
+    /// 1 = the serial reference engine; any value is bit-identical (see
+    /// docs/parallelism.md).
+    unsigned &Threads = Opt.Exec.Threads;
+    /// Deprecated: aliases of Opt.Exec.Stats / Opt.Exec.Tracer. Null =
+    /// off; see docs/observability.md.
+    support::StatsRegistry *&Stats = Opt.Exec.Stats;
+    support::EventTracer *&Tracer = Opt.Exec.Tracer;
+
+    // The alias members make the implicit copy operations wrong (they
+    // would rebind to the source object); copy the value members and
+    // let the alias initializers bind to this object's Locate.Opt.
+    Config() = default;
+    Config(const Config &O)
+        : PDBackend(O.PDBackend), SharedCheckpoints(O.SharedCheckpoints),
+          SwitchedRuns(O.SwitchedRuns), Locate(O.Locate) {}
+    Config &operator=(const Config &O) {
+      PDBackend = O.PDBackend;
+      SharedCheckpoints = O.SharedCheckpoints;
+      SwitchedRuns = O.SwitchedRuns;
+      Locate = O.Locate;
+      return *this;
+    }
   };
 
   /// \p Prog must outlive the session. \p ExpectedOutputs is the output

@@ -7,8 +7,11 @@
 
 #include "core/LocateFault.h"
 
+#include "core/ChainSearch.h"
+
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 
 using namespace eoe;
@@ -55,6 +58,15 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
   support::EventTracer *Tracer = Verifier.tracer();
   support::EventTracer::Span LocateSpan(Tracer, "locate", "core");
   support::ScopedTimer LocateTimed(&Reg.timer("locate.total_time"));
+
+  // Multi-switch perturbation chains (docs/chains.md): when every
+  // single-switch verdict for a use comes back NOT_ID, the search below
+  // extends the decision sequence. One object for the whole procedure:
+  // the re-execution budget is global across uses and rounds.
+  std::unique_ptr<ChainSearch> Chains;
+  if (Config.Opt.Reuse.ChainDepth >= 2)
+    Chains = std::make_unique<ChainSearch>(
+        Verifier, T, Config.Opt.Reuse.ChainDepth, Config.Opt.Reuse.ChainBudget);
 
   ConfidenceAnalysis CA(Prog, G, Values, V);
   PruneState Prune;
@@ -129,6 +141,22 @@ LocateReport eoe::core::locateFault(const lang::Program &Prog,
               break;
             case DepVerdict::NotImplicit:
               break;
+            }
+          }
+          // Single-switch evidence exhausted: extend into multi-switch
+          // chains. The trigger is a pure function of the verdicts --
+          // which are thread-count invariant -- and the search itself is
+          // serial, so the batched path reaches the same chains in the
+          // same order as the serial one. A winning chain commits its
+          // base predicate: the chain is evidence that the base's
+          // outcome implicitly affects the use.
+          if (Chains && VU.Strong.empty() && VU.Plain.empty() &&
+              !Candidates.empty()) {
+            ChainSearch::Result CR =
+                Chains->search(Candidates, I, Use.LoadExpr);
+            if (CR.Found) {
+              (CR.Strong ? VU.Strong : VU.Plain).push_back(CR.BasePred);
+              Reg.counter("locate.chain.commits").add();
             }
           }
           It = Pool.emplace(Key, std::move(VU)).first;

@@ -34,6 +34,7 @@
 #include "slicing/Confidence.h"
 #include "slicing/PotentialDeps.h"
 #include "slicing/Pruning.h"
+#include "support/Options.h"
 
 #include <string>
 
@@ -52,52 +53,60 @@ struct LocateConfig {
   /// Use the safe explicit-path check instead of the paper's edge check
   /// in VerifyDep (section 3.2; see ImplicitDepVerifier::Config).
   bool UsePathCheck = false;
-  /// Step budget for switched runs.
+  /// Step budget for switched runs. Deliberately NOT Opt.Exec.MaxSteps:
+  /// that is the failing-run budget (a DebugSession-level knob);
+  /// switched verification runs use this tighter budget, implementing
+  /// the paper's verification timer.
   uint64_t MaxSteps = 2'000'000;
   /// Safety cap on expansion rounds.
   size_t MaxIterations = 200;
-  /// Verification scheduling. 0 = follow the verifier's configuration
-  /// (batched onto its pool when it has one). 1 = force the serial
-  /// reference path: candidates are verified one by one on the calling
-  /// thread exactly like the original engine, regardless of the
-  /// verifier's pool. Results are bit-identical either way (see
-  /// docs/parallelism.md); the serial path exists as the reference the
-  /// determinism tests compare against.
-  unsigned Threads = 0;
-  /// Checkpointed switched-run re-execution (docs/checkpointing.md):
-  /// snapshot interpreter state at candidate predicate instances during
-  /// one instrumented pass, then resume switched runs from the nearest
-  /// dominating snapshot instead of replaying the whole prefix.
-  /// interp::CheckpointStrideAuto (0, the default) tunes the stride from
-  /// trace length, candidate density, and CheckpointMemBytes; N >= 1
-  /// checkpoints every Nth candidate; interp::CheckpointsOff is the
-  /// reference full-replay behavior. Bit-identical results in every
-  /// mode.
-  unsigned Checkpoints = interp::CheckpointStrideAuto;
-  /// LRU byte budget for retained checkpoints.
-  size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
-  /// Delta-compress consecutive snapshots (encoded-byte LRU accounting;
-  /// see CheckpointStore).
-  bool CheckpointDelta = true;
-  /// Promote input-independent snapshots into a cross-session store and
-  /// seed from it (wired by DebugSession when its config carries a
-  /// SharedCheckpointStore).
-  bool CheckpointShare = true;
-  /// Switched-run snapshot cache byte budget (docs/checkpointing.md,
-  /// "Switched-run reuse"): switched runs keep checkpointing past the
-  /// switch point (divergence-keyed snapshots, staged into the
-  /// SwitchedRunStore the session owner wires through DebugSession) and
-  /// probe the original run's snapshots to splice reconvergent suffixes.
-  /// 0 turns both mechanisms off (the reference behavior); any value is
-  /// bit-identical, it only trades memory for interpreted steps.
-  size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
-  /// Persistent checkpoint cache directory (docs/checkpointing.md,
-  /// "The on-disk cache"). When non-empty and CheckpointShare is on,
-  /// DebugSession seeds the shared store from the cache file keyed by
-  /// (program hash, MaxSteps) before profiling, and the session owner
-  /// (eoec, FaultRunner, a bench) saves the store back on exit. Empty =
-  /// in-memory sharing only.
-  std::string CheckpointDir;
+
+  /// The unified knob bundle (support/Options.h) -- authoritative for
+  /// threads, every checkpoint/switched-cache knob, the perturbation-
+  /// chain depth/budget, and the observability sinks. The flat members
+  /// below are deprecated aliases into it, kept for one release so
+  /// downstream code keeps compiling; new code should read and write
+  /// Opt directly.
+  eoe::Options Opt;
+
+  /// Deprecated: alias of Opt.Exec.Threads. Verification scheduling.
+  /// 0 = follow the verifier's configuration (batched onto its pool
+  /// when it has one). 1 = force the serial reference path (bit-
+  /// identical; see docs/parallelism.md).
+  unsigned &Threads = Opt.Exec.Threads;
+  /// Deprecated: alias of Opt.Reuse.Checkpoints (stride for checkpointed
+  /// switched-run re-execution; see docs/checkpointing.md).
+  unsigned &Checkpoints = Opt.Reuse.Checkpoints;
+  /// Deprecated: alias of Opt.Reuse.CheckpointMemBytes.
+  size_t &CheckpointMemBytes = Opt.Reuse.CheckpointMemBytes;
+  /// Deprecated: alias of Opt.Reuse.CheckpointDelta.
+  bool &CheckpointDelta = Opt.Reuse.CheckpointDelta;
+  /// Deprecated: alias of Opt.Reuse.CheckpointShare.
+  bool &CheckpointShare = Opt.Reuse.CheckpointShare;
+  /// Deprecated: alias of Opt.Reuse.SwitchedCacheBytes (switched-run
+  /// snapshot cache; docs/checkpointing.md "Switched-run reuse").
+  size_t &SwitchedCacheBytes = Opt.Reuse.SwitchedCacheBytes;
+  /// Deprecated: alias of Opt.Reuse.CheckpointDir (persistent checkpoint
+  /// cache; docs/checkpointing.md "The on-disk cache").
+  std::string &CheckpointDir = Opt.Reuse.CheckpointDir;
+
+  // The reference aliases make the implicit copy operations wrong (they
+  // would rebind to the source object's Opt), so spell them out: copy
+  // the value members, let the alias initializers bind to this->Opt.
+  LocateConfig() = default;
+  LocateConfig(const LocateConfig &O)
+      : VerifyFanout(O.VerifyFanout), OnePerPredicate(O.OnePerPredicate),
+        UsePathCheck(O.UsePathCheck), MaxSteps(O.MaxSteps),
+        MaxIterations(O.MaxIterations), Opt(O.Opt) {}
+  LocateConfig &operator=(const LocateConfig &O) {
+    VerifyFanout = O.VerifyFanout;
+    OnePerPredicate = O.OnePerPredicate;
+    UsePathCheck = O.UsePathCheck;
+    MaxSteps = O.MaxSteps;
+    MaxIterations = O.MaxIterations;
+    Opt = O.Opt;
+    return *this;
+  }
 };
 
 /// The paper's Table 3 row for one debugging session.

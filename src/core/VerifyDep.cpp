@@ -65,6 +65,13 @@ ImplicitDepVerifier::ImplicitDepVerifier(const Interpreter &Interp,
   // Switched-run reuse. interpreted_steps is recorded unconditionally
   // (cache off included), so the bench's work-count comparison reads the
   // same key on both sides.
+  // Multi-switch chain verification (docs/chains.md). Registered eagerly
+  // so the eoe-stats-v1 surface always carries the verify.chain.* keys,
+  // chains enabled or not.
+  CChainRuns = &Reg->counter("verify.chain.runs");
+  CChainPrefixHits = &Reg->counter("verify.chain.prefix_hits");
+  CChainExtSteps = &Reg->counter("verify.chain.extended_steps");
+  HChainDepth = &Reg->histogram("verify.chain.depth_hist");
   CSwHits = &Reg->counter("verify.ckpt.switched_hits");
   CSwPromotions = &Reg->counter("verify.ckpt.switched_promotions");
   CSwSplicedSuffix = &Reg->counter("verify.ckpt.switched_spliced_suffix_steps");
@@ -114,6 +121,15 @@ ImplicitDepVerifier::SwitchedRun &
 ImplicitDepVerifier::cellFor(TraceIdx PredInst) {
   std::lock_guard<std::mutex> Lock(RunsMutex);
   std::unique_ptr<SwitchedRun> &Slot = Runs[PredInst];
+  if (!Slot)
+    Slot = std::make_unique<SwitchedRun>();
+  return *Slot;
+}
+
+ImplicitDepVerifier::SwitchedRun &
+ImplicitDepVerifier::chainCellFor(const std::vector<SwitchDecision> &Chain) {
+  std::lock_guard<std::mutex> Lock(RunsMutex);
+  std::unique_ptr<SwitchedRun> &Slot = ChainRuns[Chain];
   if (!Slot)
     Slot = std::make_unique<SwitchedRun>();
   return *Slot;
@@ -237,6 +253,125 @@ void ImplicitDepVerifier::computeSwitchedRun(TraceIdx PredInst,
         E, Run.Trace, C.Stats, OrigTree.get());
   }
   Run.Ready.store(true, std::memory_order_release);
+}
+
+void ImplicitDepVerifier::computeChainRun(TraceIdx BaseInst,
+                                          const std::vector<SwitchDecision> &Chain,
+                                          SwitchedRun &Run) {
+  assert(Chain.size() >= 2 && "single decisions go through the TraceIdx cache");
+  assert(E.step(BaseInst).Stmt == Chain.front().Stmt &&
+         E.step(BaseInst).InstanceNo == Chain.front().InstanceNo &&
+         "BaseInst must be the chain's first decision in the original trace");
+
+  Interpreter::Options Opts;
+  Opts.MaxSteps = C.MaxSteps;
+  Opts.Decisions = Chain;
+
+  // The chained run is byte-identical to the original up to the first
+  // decision's fire point, so any original-run snapshot at or before
+  // BaseInst is a valid start.
+  std::shared_ptr<const Checkpoint> CP;
+  if (Ckpts) {
+    CP = Ckpts->nearest(BaseInst);
+    if (CP)
+      CCkptHits->add();
+    else
+      CCkptMisses->add();
+  }
+
+  // Prefix-keyed reuse: the deepest sealed bundle whose divergence key
+  // prefixes the chain wins over the plain prefix snapshot when strictly
+  // deeper. Depth-k runs staged bundles under their own chain key, so a
+  // sealed depth-k snapshot seeds this depth-k+1 run past the whole
+  // shared divergent prefix.
+  SwitchedReuse *SR = SwitchedPub.load(std::memory_order_acquire);
+  std::shared_ptr<const ExecutionTrace> SwPrefix;
+  if (SR && SR->StoreOn) {
+    if (std::optional<SwitchedRunStore::Hit> H =
+            C.SwitchedRuns->lookup(SR->Key, Chain)) {
+      if (!CP || H->CP->Index > CP->Index) {
+        CP = H->CP;
+        SwPrefix = H->Prefix;
+        CChainPrefixHits->add();
+      }
+    }
+  }
+  // Re-capture unless the hit already covers the full chain (its key --
+  // carried on the snapshot -- has the chain's length): deeper snapshots
+  // under this exact key could only duplicate a prior session's bundle.
+  const bool Exact = SwPrefix && CP->Divergence.size() == Chain.size();
+  SwitchedCapturePlan Capture;
+  const bool DoCapture = SR && SR->StoreOn && !Exact;
+  if (SR) {
+    Opts.Reconverge = &SR->Plan;
+    if (DoCapture) {
+      Capture.SpacingSteps = std::min<uint64_t>(
+          Capture.SpacingSteps, std::max<uint64_t>(16, E.size() / 4));
+      Opts.SwitchedCapture = &Capture;
+    }
+  }
+
+  {
+    support::EventTracer::Span Reexec(C.Tracer, "reexec.chain", "interp");
+    support::ScopedTimer Timed(TReexec);
+    ExecContextPool::Lease Ctx = Arena.acquire();
+    if (CP) {
+      support::ScopedTimer Restore(TCkptRestore);
+      Run.Trace = Interp.runFrom(*CP, SwPrefix ? *SwPrefix : E, Input, Opts,
+                                 *Ctx);
+    } else {
+      Run.Trace = Interp.run(Input, Opts, *Ctx);
+    }
+  }
+  CReexecutions->add();
+  CChainRuns->add();
+  HChainDepth->record(Chain.size());
+  HReexecSteps->record(Run.Trace.size());
+  if (Run.Trace.Exit != ExitReason::Finished)
+    CReexecAborts->add();
+
+  // Chain-only work accounting: what this run interpreted net of spliced
+  // prefix and suffix. Kept out of the single-switch counters so their
+  // established semantics (and determinism assertions) are untouched.
+  const TraceIdx PrefixLen = CP ? CP->Index : 0;
+  CChainExtSteps->add(Run.Trace.size() - PrefixLen - Run.Trace.SplicedSuffix);
+
+  // Promote this run's chain-keyed snapshots for the next depth level.
+  // Captures only start once every decision has fired, so each carries
+  // the full chain as its divergence key; the guard is defensive (a run
+  // that never fired its tail decisions stages nothing).
+  if (DoCapture && !Capture.Captured.empty() &&
+      Capture.Captured.front()->Divergence == Chain) {
+    const std::shared_ptr<const Checkpoint> &Deep = Capture.Captured.back();
+    auto Prefix = std::make_shared<ExecutionTrace>();
+    Prefix->Steps.assign(Run.Trace.Steps.begin(),
+                         Run.Trace.Steps.begin() + Deep->Index);
+    Prefix->Outputs.assign(Run.Trace.Outputs.begin(),
+                           Run.Trace.Outputs.begin() + Deep->OutputCount);
+    Prefix->SwitchedStep = Run.Trace.SwitchedStep;
+    if (Run.Trace.FirstInputStep != InvalidId &&
+        Run.Trace.FirstInputStep < Deep->Index)
+      Prefix->FirstInputStep = Run.Trace.FirstInputStep;
+    SwitchedRunStore::Bundle B;
+    B.Key = Chain;
+    B.Prefix = std::move(Prefix);
+    B.Snapshots = std::move(Capture.Captured);
+    C.SwitchedRuns->stage(SR->Key, std::move(B));
+    CSwPromotions->add();
+  }
+  {
+    support::EventTracer::Span Align(C.Tracer, "align", "align");
+    std::call_once(OrigTreeOnce,
+                   [&] { OrigTree = std::make_unique<align::RegionTree>(E); });
+    Run.Aligner = std::make_unique<align::ExecutionAligner>(E, Run.Trace,
+                                                            *OrigTree, C.Stats);
+  }
+  Run.Ready.store(true, std::memory_order_release);
+}
+
+void ImplicitDepVerifier::sealSwitchedStage() {
+  if (C.SwitchedRuns)
+    C.SwitchedRuns->seal();
 }
 
 void ImplicitDepVerifier::maybeCollectCheckpoints(
@@ -450,6 +585,43 @@ DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
   // (it is a pure function) and is deduplicated at insert below.
   SwitchedRun &MutRun = cellFor(PredInst);
   std::call_once(MutRun.Computed, [&] { computeSwitchedRun(PredInst, MutRun); });
+  DepVerdict Verdict = classify(MutRun, UseInst, UseLoad);
+
+  // Per-verdict latency of the uncached computation (Table 4's switched
+  // re-execution plus alignment cost, attributed to the outcome).
+  uint64_t LatencyNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - LatencyStart)
+          .count());
+
+  {
+    std::lock_guard<std::mutex> Lock(VerdictMutex);
+    auto [It, Inserted] = VerdictCache.emplace(Key, Verdict);
+    // Count distinct verifications only, exactly like the serial engine:
+    // a racing duplicate keeps the first verdict and is not re-counted.
+    if (Inserted) {
+      CVerifications->add();
+      switch (It->second) {
+      case DepVerdict::StrongImplicit:
+        CVerdictStrong->add();
+        TLatStrong->record(LatencyNs);
+        break;
+      case DepVerdict::Implicit:
+        CVerdictImplicit->add();
+        TLatImplicit->record(LatencyNs);
+        break;
+      case DepVerdict::NotImplicit:
+        CVerdictNot->add();
+        TLatNot->record(LatencyNs);
+        break;
+      }
+    }
+    return It->second;
+  }
+}
+
+DepVerdict ImplicitDepVerifier::classify(SwitchedRun &MutRun, TraceIdx UseInst,
+                                         ExprId UseLoad) {
   const SwitchedRun &Run = MutRun;
   const ExecutionTrace &EP = Run.Trace;
   const align::ExecutionAligner &A = *Run.Aligner;
@@ -520,36 +692,25 @@ DepVerdict ImplicitDepVerifier::verify(TraceIdx PredInst, TraceIdx UseInst,
         A.switchedTree().inRegion(MatchedUse->Def, EP.SwitchedStep))
       Verdict = DepVerdict::Implicit;
   } while (false);
+  return Verdict;
+}
 
-  // Per-verdict latency of the uncached computation (Table 4's switched
-  // re-execution plus alignment cost, attributed to the outcome).
-  uint64_t LatencyNs = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - LatencyStart)
-          .count());
+DepVerdict
+ImplicitDepVerifier::verifyChain(TraceIdx BaseInst,
+                                 const std::vector<SwitchDecision> &Chain,
+                                 TraceIdx UseInst, ExprId UseLoad) {
+  support::EventTracer::Span VerifySpan(C.Tracer, "verify.chain", "verify");
+  SwitchedRun &Run = chainCellFor(Chain);
+  std::call_once(Run.Computed,
+                 [&] { computeChainRun(BaseInst, Chain, Run); });
+  return classify(Run, UseInst, UseLoad);
+}
 
-  {
-    std::lock_guard<std::mutex> Lock(VerdictMutex);
-    auto [It, Inserted] = VerdictCache.emplace(Key, Verdict);
-    // Count distinct verifications only, exactly like the serial engine:
-    // a racing duplicate keeps the first verdict and is not re-counted.
-    if (Inserted) {
-      CVerifications->add();
-      switch (It->second) {
-      case DepVerdict::StrongImplicit:
-        CVerdictStrong->add();
-        TLatStrong->record(LatencyNs);
-        break;
-      case DepVerdict::Implicit:
-        CVerdictImplicit->add();
-        TLatImplicit->record(LatencyNs);
-        break;
-      case DepVerdict::NotImplicit:
-        CVerdictNot->add();
-        TLatNot->record(LatencyNs);
-        break;
-      }
-    }
-    return It->second;
-  }
+const ExecutionTrace &
+ImplicitDepVerifier::chainTrace(TraceIdx BaseInst,
+                                const std::vector<SwitchDecision> &Chain) {
+  SwitchedRun &Run = chainCellFor(Chain);
+  std::call_once(Run.Computed,
+                 [&] { computeChainRun(BaseInst, Chain, Run); });
+  return Run.Trace;
 }

@@ -159,6 +159,37 @@ public:
   /// depend on predicate instance \p PredInst? Thread-safe.
   DepVerdict verify(TraceIdx PredInst, TraceIdx UseInst, ExprId UseLoad);
 
+  /// Multi-switch chain verification (docs/chains.md): re-executes with
+  /// every decision in \p Chain applied in execution order and runs the
+  /// same verdict ladder as verify() against the chained trace, treating
+  /// \p Chain's first decision as the dependence source. \p BaseInst must
+  /// be that first decision's instance in the original trace. Chained
+  /// runs are cached by the full decision sequence; with a switched-run
+  /// store configured they resume from the deepest sealed snapshot whose
+  /// divergence key prefixes \p Chain (a depth-k run's snapshots seed
+  /// depth-k+1 -- see SwitchedRunStore::lookup). Thread-safe, but chain
+  /// search is deliberately serial (ChainSearch), so the chain counters
+  /// are thread-count invariant.
+  DepVerdict verifyChain(TraceIdx BaseInst,
+                         const std::vector<interp::SwitchDecision> &Chain,
+                         TraceIdx UseInst, ExprId UseLoad);
+
+  /// The chained run's trace for \p Chain (extension-candidate
+  /// enumeration in ChainSearch); computed and cached on demand under
+  /// the same key as verifyChain.
+  const interp::ExecutionTrace &
+  chainTrace(TraceIdx BaseInst,
+             const std::vector<interp::SwitchDecision> &Chain);
+
+  /// Seals the switched-run store (no-op without one): bundles staged by
+  /// completed runs -- single-switch and shallower chains -- become
+  /// visible to later lookups. ChainSearch calls this between depth
+  /// levels so depth-k chain snapshots seed depth-k+1 resumes within one
+  /// session. Safe mid-session: already-computed runs are cached by
+  /// once-cells and never re-resolved, and a single-decision request can
+  /// only hit its own run's bundle.
+  void sealSwitchedStage();
+
   /// Warm-up for a batch: runs the switched re-executions (and builds the
   /// alignments) for every predicate instance in \p Preds that has no
   /// cached run yet, concurrently on the pool when one is configured.
@@ -227,8 +258,16 @@ private:
   };
 
   SwitchedRun &cellFor(TraceIdx PredInst);
+  SwitchedRun &chainCellFor(const std::vector<interp::SwitchDecision> &Chain);
   const SwitchedRun &switchedRunFor(TraceIdx PredInst);
   void computeSwitchedRun(TraceIdx PredInst, SwitchedRun &Run);
+  void computeChainRun(TraceIdx BaseInst,
+                       const std::vector<interp::SwitchDecision> &Chain,
+                       SwitchedRun &Run);
+  /// The verdict ladder shared by verify() and verifyChain(): classifies
+  /// (UseInst, UseLoad) against one (single- or multi-decision) switched
+  /// run. Pure given the run.
+  DepVerdict classify(SwitchedRun &Run, TraceIdx UseInst, ExprId UseLoad);
   const std::vector<bool> &reachableFromSwitch(SwitchedRun &Run);
 
   const interp::Interpreter &Interp;
@@ -239,6 +278,11 @@ private:
 
   mutable std::mutex RunsMutex;
   std::map<TraceIdx, std::unique_ptr<SwitchedRun>> Runs;
+  /// Chained runs, keyed by the full decision sequence (a depth-1 chain
+  /// is still a distinct key from the TraceIdx-keyed single-switch runs;
+  /// ChainSearch never requests depth 1 here).
+  std::map<std::vector<interp::SwitchDecision>, std::unique_ptr<SwitchedRun>>
+      ChainRuns;
   std::mutex VerdictMutex;
   std::map<std::tuple<TraceIdx, TraceIdx, ExprId>, DepVerdict> VerdictCache;
 
@@ -269,6 +313,10 @@ private:
   support::StatCounter *CCkptSharedHits = nullptr;
   support::StatCounter *CCkptAutoStride = nullptr;
   support::StatCounter *CCkptDiskHits = nullptr;
+  support::StatCounter *CChainRuns = nullptr;
+  support::StatCounter *CChainPrefixHits = nullptr;
+  support::StatCounter *CChainExtSteps = nullptr;
+  support::StatHistogram *HChainDepth = nullptr;
   support::StatCounter *CSwHits = nullptr;
   support::StatCounter *CSwPromotions = nullptr;
   support::StatCounter *CSwSplicedSuffix = nullptr;

@@ -70,7 +70,8 @@ public:
         Probing(Opts.Trace && Opts.Reconverge != nullptr &&
                 !Opts.Reconverge->Sites.empty()),
         Mirror(Collecting || Capturing || Probing),
-        RequiredDecisions((Opts.Switch ? 1u : 0u) + (Opts.Perturb ? 1u : 0u)) {
+        RequiredDecisions((Opts.Switch ? 1u : 0u) + (Opts.Perturb ? 1u : 0u) +
+                          static_cast<unsigned>(Opts.Decisions.size())) {
     Ctx.beginRun(Prog.statements().size(), Prog.globalSlots());
     Trace.Steps.reserve(Ctx.stepsHint());
   }
@@ -497,11 +498,20 @@ private:
   int64_t maybePerturb(StmtId Sid, TraceIdx Rec, int64_t Value) {
     if (Opts.Perturb && Opts.Perturb->Stmt == Sid &&
         Opts.Perturb->InstanceNo == InstCount[Sid]) {
-      Trace.SwitchedStep = Rec;
+      if (Trace.SwitchedStep == InvalidId)
+        Trace.SwitchedStep = Rec;
       noteDecision({Sid, InstCount[Sid], /*Perturb=*/true,
                     Opts.Perturb->Value});
       return Opts.Perturb->Value;
     }
+    for (const SwitchDecision &Want : Opts.Decisions)
+      if (Want.Perturb && Want.Stmt == Sid &&
+          Want.InstanceNo == InstCount[Sid]) {
+        if (Trace.SwitchedStep == InvalidId)
+          Trace.SwitchedStep = Rec;
+        noteDecision(Want);
+        return Want.Value;
+      }
     return Value;
   }
 
@@ -806,11 +816,27 @@ private:
       return false; // The un-executed statement after a suffix splice
                     // must not match the switch (its counter never bumped).
     bool Taken = evalExpr(Cond, F, Rec) != 0;
+    bool Fire = false;
+    SwitchDecision D{Sid, InstCount[Sid], /*Perturb=*/false, /*Value=*/0};
     if (Opts.Switch && Opts.Switch->Pred == Sid &&
         Opts.Switch->InstanceNo == InstCount[Sid]) {
+      Fire = true;
+    } else {
+      for (const SwitchDecision &Want : Opts.Decisions)
+        if (!Want.Perturb && Want.Stmt == Sid &&
+            Want.InstanceNo == InstCount[Sid]) {
+          Fire = true;
+          D = Want;
+          break;
+        }
+    }
+    if (Fire) {
       Taken = !Taken;
-      Trace.SwitchedStep = Rec;
-      noteDecision({Sid, InstCount[Sid], /*Perturb=*/false, /*Value=*/0});
+      // First decision wins: the trace's switch marker is the chain's
+      // divergence point, where alignment with the original run starts.
+      if (Trace.SwitchedStep == InvalidId)
+        Trace.SwitchedStep = Rec;
+      noteDecision(D);
     }
     if (Rec != InvalidId) {
       StepRecord &Step = Trace.Steps[Rec];
@@ -1181,7 +1207,8 @@ ExecutionTrace Interpreter::run(const std::vector<int64_t> &Input,
                                 const Options &Opts, ExecContext &Ctx) const {
   support::ScopedTimer Timed(TRunTime);
   Engine E(Prog, Analysis, Input, Opts, Ctx);
-  return record(E.run(), Opts.Switch.has_value(), /*Resumed=*/false, 0);
+  return record(E.run(), Opts.Switch.has_value() || !Opts.Decisions.empty(),
+                /*Resumed=*/false, 0);
 }
 
 ExecutionTrace Interpreter::runFrom(const Checkpoint &CP,
@@ -1193,7 +1220,8 @@ ExecutionTrace Interpreter::runFrom(const Checkpoint &CP,
   Options Local = Opts;
   Local.Checkpoints = nullptr; // Checkpoints are collected by full runs only.
   Engine E(Prog, Analysis, Input, Local, Ctx);
-  return record(E.resume(CP, SpliceFrom), Local.Switch.has_value(),
+  return record(E.resume(CP, SpliceFrom),
+                Local.Switch.has_value() || !Local.Decisions.empty(),
                 /*Resumed=*/true, CP.Index);
 }
 
@@ -1211,6 +1239,18 @@ ExecutionTrace Interpreter::runSwitched(const std::vector<int64_t> &Input,
   Options Opts;
   Opts.MaxSteps = MaxSteps;
   Opts.Switch = Spec;
+  if (Ctx)
+    return run(Input, Opts, *Ctx);
+  return run(Input, Opts);
+}
+
+ExecutionTrace
+Interpreter::runSwitched(const std::vector<int64_t> &Input,
+                         const std::vector<SwitchDecision> &Decisions,
+                         uint64_t MaxSteps, ExecContext *Ctx) const {
+  Options Opts;
+  Opts.MaxSteps = MaxSteps;
+  Opts.Decisions = Decisions;
   if (Ctx)
     return run(Input, Opts, *Ctx);
   return run(Input, Opts);

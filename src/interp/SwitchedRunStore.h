@@ -176,7 +176,10 @@ public:
   /// Deepest sealed snapshot usable for \p Requested under \p K: its
   /// bundle's divergence key must be a prefix of \p Requested, and every
   /// decision *not* yet covered by the key must still be ahead of the
-  /// snapshot (its instance counter below the decision's instance).
+  /// snapshot (its instance counter below the decision's instance). On
+  /// an equal-depth tie the longer key wins -- it covers more of the
+  /// request. This longest-matching-prefix rule is what lets a depth-k
+  /// chain's captures seed every depth-k+1 extension (docs/chains.md).
   /// Deterministic given the sealed set. Null before the first seal().
   std::optional<Hit> lookup(const ValidityKey &K,
                             const std::vector<SwitchDecision> &Requested);

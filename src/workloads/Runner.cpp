@@ -53,17 +53,12 @@ FaultRunner::makeSession(const Options &Opts,
   C.Locate.VerifyFanout = Opts.VerifyFanout;
   C.Locate.OnePerPredicate = Opts.OnePerPredicate;
   C.Locate.UsePathCheck = Opts.UsePathCheck;
-  C.Threads = Opts.Threads;
-  C.Locate.Checkpoints = Opts.Checkpoints;
-  C.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
-  C.Locate.CheckpointDelta = Opts.CheckpointDelta;
-  C.Locate.CheckpointShare = Opts.ShareCheckpoints;
-  C.Locate.CheckpointDir = Opts.CheckpointDir;
-  C.Locate.SwitchedCacheBytes = Opts.SwitchedCacheBytes;
+  // The whole unified knob bundle forwards in one assignment; only the
+  // session-budget field is runner-owned (the default failing-run
+  // budget), so a caller's Opt.Exec.MaxSteps passes through too.
+  C.Opt = Opts.Opt;
   C.SharedCheckpoints = Shared;
   C.SwitchedRuns = SwitchedRuns;
-  C.Stats = Opts.Stats;
-  C.Tracer = Opts.Tracer;
   return std::make_unique<DebugSession>(*Faulty, Fault.FailingInput, Expected,
                                         Fault.TestSuite, C);
 }
@@ -79,15 +74,15 @@ ExperimentResult FaultRunner::run(const Options &Opts) {
   // collection pass. The store outlives both sessions (scope of run()).
   interp::SharedCheckpointStore Shared;
   interp::SharedCheckpointStore *SharedPtr =
-      Opts.ShareCheckpoints ? &Shared : nullptr;
+      Opts.Opt.Reuse.CheckpointShare ? &Shared : nullptr;
 
   // Both phases also re-execute the same switched runs: phase A stages
   // divergence-keyed snapshot bundles into this store, the seal between
   // the phases makes them visible (deterministic admission -- see
   // SwitchedRunStore.h), and phase B's switched runs resume from them.
-  interp::SwitchedRunStore SwitchedRuns(Opts.SwitchedCacheBytes);
+  interp::SwitchedRunStore SwitchedRuns(Opts.Opt.Reuse.SwitchedCacheBytes);
   interp::SwitchedRunStore *SwitchedPtr =
-      Opts.SwitchedCacheBytes > 0 ? &SwitchedRuns : nullptr;
+      Opts.Opt.Reuse.SwitchedCacheBytes > 0 ? &SwitchedRuns : nullptr;
 
   // Phase A: discover the implicit edges with a root-only oracle, then
   // derive OS from the expanded dependence graph.
@@ -135,9 +130,10 @@ ExperimentResult FaultRunner::run(const Options &Opts) {
   // Persist the shared store for the next process over this fault. The
   // sessions load under LocateConfig::MaxSteps (the default -- the
   // runner never overrides it), so save under the same key.
-  if (SharedPtr && !Opts.CheckpointDir.empty()) {
-    interp::CheckpointDiskStore Disk(Opts.CheckpointDir);
-    Disk.save(*SharedPtr, *Faulty, core::LocateConfig().MaxSteps, Opts.Stats);
+  if (SharedPtr && !Opts.Opt.Reuse.CheckpointDir.empty()) {
+    interp::CheckpointDiskStore Disk(Opts.Opt.Reuse.CheckpointDir);
+    Disk.save(*SharedPtr, *Faulty, core::LocateConfig().MaxSteps,
+              Opts.Opt.Exec.Stats);
   }
 
   if (Opts.MeasureTimes) {

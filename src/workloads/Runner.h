@@ -25,6 +25,7 @@
 #define EOE_WORKLOADS_RUNNER_H
 
 #include "core/DebugSession.h"
+#include "support/Options.h"
 #include "workloads/Workloads.h"
 
 #include <memory>
@@ -83,42 +84,52 @@ public:
     /// Skip the (slow) relevant-slice computation when only Table 3 is
     /// needed.
     bool ComputeSlices = true;
-    /// Verification engine threads (DebugSession::Config::Threads):
-    /// 0 = hardware default, 1 = serial reference engine.
-    unsigned Threads = 0;
-    /// Checkpoint stride for switched-run re-execution
-    /// (LocateConfig::Checkpoints): interp::CheckpointStrideAuto (0,
-    /// default) = autotuned, N >= 1 = every Nth candidate,
-    /// interp::CheckpointsOff = full replay.
-    unsigned Checkpoints = interp::CheckpointStrideAuto;
-    /// LRU byte budget for retained checkpoints.
-    size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
-    /// Delta-compress consecutive snapshots (LocateConfig).
-    bool CheckpointDelta = true;
-    /// Share input-independent snapshots between the protocol's phase-A
-    /// and phase-B sessions (both run the same program on the same
-    /// failing input): the runner owns a SharedCheckpointStore for the
-    /// duration of run(), so phase B resumes from phase A's pre-input
-    /// snapshots without re-collecting them.
-    bool ShareCheckpoints = true;
-    /// Switched-run snapshot cache (LocateConfig::SwitchedCacheBytes):
-    /// the runner owns a SwitchedRunStore for the duration of run() and
-    /// seals it between phase A and phase B, so phase B's switched runs
-    /// resume from phase A's divergence-keyed snapshots and splice
-    /// reconvergent suffixes. 0 = off (the reference full-interpretation
-    /// behavior); any value yields bit-identical reports.
-    size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
-    /// Persistent checkpoint cache directory (LocateConfig::
-    /// CheckpointDir): phase A loads the cache before running, and the
-    /// runner saves the shared store back after phase B, so repeated
-    /// protocol runs over the same fault warm-start across processes.
-    /// Requires ShareCheckpoints; empty = no persistence.
-    std::string CheckpointDir;
-    /// Observability sinks forwarded to every session the protocol
-    /// creates (both phases), so benches can print per-phase cost next
-    /// to the paper tables. Null = off.
-    support::StatsRegistry *Stats = nullptr;
-    support::EventTracer *Tracer = nullptr;
+
+    /// The unified knob bundle (support/Options.h), forwarded wholesale
+    /// into every DebugSession the protocol creates. Opt.Reuse wires the
+    /// runner-owned SharedCheckpointStore / SwitchedRunStore between the
+    /// phase-A and phase-B sessions (phase B resumes from phase A's
+    /// snapshots; the store is sealed between phases), and Opt.Exec
+    /// carries threads and the observability sinks. The flat members
+    /// below are deprecated aliases into it.
+    eoe::Options Opt;
+
+    /// Deprecated: alias of Opt.Exec.Threads.
+    unsigned &Threads = Opt.Exec.Threads;
+    /// Deprecated: alias of Opt.Reuse.Checkpoints.
+    unsigned &Checkpoints = Opt.Reuse.Checkpoints;
+    /// Deprecated: alias of Opt.Reuse.CheckpointMemBytes.
+    size_t &CheckpointMemBytes = Opt.Reuse.CheckpointMemBytes;
+    /// Deprecated: alias of Opt.Reuse.CheckpointDelta.
+    bool &CheckpointDelta = Opt.Reuse.CheckpointDelta;
+    /// Deprecated: alias of Opt.Reuse.CheckpointShare.
+    bool &ShareCheckpoints = Opt.Reuse.CheckpointShare;
+    /// Deprecated: alias of Opt.Reuse.SwitchedCacheBytes.
+    size_t &SwitchedCacheBytes = Opt.Reuse.SwitchedCacheBytes;
+    /// Deprecated: alias of Opt.Reuse.CheckpointDir.
+    std::string &CheckpointDir = Opt.Reuse.CheckpointDir;
+    /// Deprecated: aliases of Opt.Exec.Stats / Opt.Exec.Tracer.
+    support::StatsRegistry *&Stats = Opt.Exec.Stats;
+    support::EventTracer *&Tracer = Opt.Exec.Tracer;
+
+    // The alias members make the implicit copy operations wrong; copy
+    // the value members and let the aliases rebind to this->Opt.
+    Options() = default;
+    Options(const Options &O)
+        : Backend(O.Backend), VerifyFanout(O.VerifyFanout),
+          OnePerPredicate(O.OnePerPredicate), UsePathCheck(O.UsePathCheck),
+          MeasureTimes(O.MeasureTimes), ComputeSlices(O.ComputeSlices),
+          Opt(O.Opt) {}
+    Options &operator=(const Options &O) {
+      Backend = O.Backend;
+      VerifyFanout = O.VerifyFanout;
+      OnePerPredicate = O.OnePerPredicate;
+      UsePathCheck = O.UsePathCheck;
+      MeasureTimes = O.MeasureTimes;
+      ComputeSlices = O.ComputeSlices;
+      Opt = O.Opt;
+      return *this;
+    }
   };
 
   explicit FaultRunner(const FaultInfo &Fault);

@@ -47,6 +47,7 @@ foreach(Key
     "\"ckpt.switched_spliced_suffix_steps\""
     "\"ckpt.switched_reconverge_probes\""
     "\"ckpt.switched_interpreted_steps\""
+    "\"chain.runs\"" "\"chain.prefix_hits\"" "\"chain.extended_steps\""
     "\"counters\"" "\"timers\""
     "\"histograms\"")
   if(NOT LastLine MATCHES "${Key}")

@@ -228,6 +228,13 @@ const char *const InvariantCounterKeys[] = {
     "locate.fanout_requests", "slicing.prune_rounds", "slicing.oracle_queries",
     "slicing.benign_marks", "slicing.corrupted_marks",
     "slicing.dynamic_slices", "slicing.relevant_slices",
+    // Chain search is deliberately serial inside the locate loop and its
+    // trigger is a pure function of thread-invariant verdicts, so every
+    // chain counter is invariant too (zero at the default ChainDepth=1;
+    // ChainDeterminism below exercises them at depth 2).
+    "verify.chain.runs", "verify.chain.prefix_hits",
+    "verify.chain.extended_steps", "locate.chain.searches",
+    "locate.chain.commits",
 };
 
 /// Two locate sessions around a SwitchedRunStore seal(), so the second
@@ -312,6 +319,49 @@ TEST_P(SwitchedCacheDeterminism, CacheOnOffAndThreadCountAreInvisible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SwitchedCacheDeterminism,
                          ::testing::Range<uint64_t>(200, 210));
+
+class ChainDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainDeterminism, ChainSearchIsThreadCountInvariant) {
+  // Depth-2 chain search extends the determinism contract: its trigger
+  // (both verdict pools empty for a use) is a pure function of the
+  // thread-invariant single-switch verdicts, and the search itself runs
+  // serially, so outcomes AND every chain counter must be bit-identical
+  // across thread counts.
+  std::optional<PreparedFault> F = prepareFault(GetParam());
+  if (!F)
+    GTEST_SKIP() << "fault masked by later definitions";
+
+  auto Locate = [&](unsigned Threads, support::StatsRegistry *Reg) {
+    core::DebugSession::Config C;
+    C.Opt.Exec.Threads = Threads;
+    C.Opt.Exec.Stats = Reg;
+    C.Opt.Reuse.ChainDepth = 2;
+    core::DebugSession Session(*F->Faulty, F->Input, F->Expected, {}, C);
+    EXPECT_TRUE(Session.hasFailure());
+    RootOnlyOracle Oracle(F->Root);
+    LocateOutcome O;
+    O.Report = Session.locate(Oracle);
+    O.Edges = Session.graph().implicitEdges();
+    O.Chain = Session.failureChain(F->Root);
+    return O;
+  };
+
+  support::StatsRegistry SerialReg, PooledReg;
+  LocateOutcome Serial = Locate(1, &SerialReg);
+  LocateOutcome Pooled = Locate(4, &PooledReg);
+  expectSameOutcome(Serial, Pooled, GetParam(), "chain@1 vs chain@4");
+
+  for (const char *Key :
+       {"verify.chain.runs", "verify.chain.prefix_hits",
+        "verify.chain.extended_steps", "locate.chain.searches",
+        "locate.chain.commits"})
+    EXPECT_EQ(SerialReg.counter(Key).get(), PooledReg.counter(Key).get())
+        << "seed " << GetParam() << " counter " << Key;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainDeterminism,
+                         ::testing::Range<uint64_t>(300, 306));
 
 TEST(ParallelStats, RegistryCountersAreThreadCountInvariant) {
   // Satellite of the observability PR: the determinism contract extends

@@ -291,6 +291,86 @@ TEST(SwitchedRunStoreTest, ValidityKeyMismatchMisses) {
   EXPECT_FALSE(Store.lookup(K, Foreign).has_value());
 }
 
+// Longest-matching-prefix semantics across bundle depths (docs/chains.md):
+// a bundle keyed [d1] serves any request starting with d1 whose later
+// decisions are still ahead of the snapshot, a bundle keyed [d1,d2]
+// serves [d1,d2...] from deeper in -- and on equal depth the longer key
+// wins, because it covers more of the request. Synthetic checkpoints
+// keep the geometry explicit instead of depending on capture spacing.
+TEST(SwitchedRunStoreTest, LongestMatchingPrefixServesChains) {
+  const SwitchDecision D1{/*Stmt=*/10, /*InstanceNo=*/1, false, 0};
+  const SwitchDecision D2{/*Stmt=*/20, /*InstanceNo=*/2, false, 0};
+  const SwitchDecision D3{/*Stmt=*/30, /*InstanceNo=*/1, false, 0};
+
+  auto Snap = [](TraceIdx Index, std::vector<SwitchDecision> Div,
+                 uint32_t At20, uint32_t At30) {
+    auto CP = std::make_shared<Checkpoint>();
+    CP->Index = Index;
+    CP->Divergence = std::move(Div);
+    CP->InstCount.assign(64, 0);
+    CP->InstCount[20] = At20;
+    CP->InstCount[30] = At30;
+    return std::shared_ptr<const Checkpoint>(std::move(CP));
+  };
+
+  SwitchedRunStore::ValidityKey K{/*ProgramHash=*/1, nullptr,
+                                  /*InputHash=*/2, kBudget};
+
+  // Bundle keyed [d1]: its deepest snapshot (index 200) has already run
+  // past d2's and d3's instances; the one at 150 has passed neither.
+  SwitchedRunStore::Bundle A;
+  A.Key = {D1};
+  A.Prefix = std::make_shared<ExecutionTrace>();
+  A.Snapshots = {Snap(100, {D1}, 0, 0), Snap(150, {D1}, 0, 0),
+                 Snap(200, {D1}, 2, 1)};
+
+  // Bundle keyed [d1, d2]: one snapshot, at the same index as A's middle.
+  SwitchedRunStore::Bundle B;
+  B.Key = {D1, D2};
+  B.Prefix = std::make_shared<ExecutionTrace>();
+  B.Snapshots = {Snap(150, {D1, D2}, 2, 0)};
+
+  SwitchedRunStore Store(DefaultSwitchedCacheBytes);
+  Store.stage(K, std::move(A));
+  Store.stage(K, std::move(B));
+  ASSERT_EQ(Store.seal(), 2u);
+
+  // [d1]: only the [d1] bundle's key is a prefix ([d1,d2] is longer than
+  // the request); no uncovered decisions remain, so its deepest snapshot
+  // wins outright.
+  auto H1 = Store.lookup(K, {D1});
+  ASSERT_TRUE(H1);
+  EXPECT_EQ(H1->CP->Index, 200u);
+  EXPECT_EQ(H1->CP->Divergence, (std::vector<SwitchDecision>{D1}));
+
+  // [d1, d2]: A's snapshot 200 is pruned -- its instance counter for
+  // d2.Stmt has reached d2's instance, so the decision could no longer
+  // fire -- leaving 150. B also offers 150; the depth tie goes to the
+  // longer key, which covers more of the request.
+  auto H2 = Store.lookup(K, {D1, D2});
+  ASSERT_TRUE(H2);
+  EXPECT_EQ(H2->CP->Index, 150u);
+  EXPECT_EQ(H2->CP->Divergence, (std::vector<SwitchDecision>{D1, D2}));
+
+  // [d1, d2, d3]: the depth-2 bundle still prefixes the depth-3 request
+  // and d3 is still ahead of its snapshot -- depth-k captures seed the
+  // depth-k+1 frontier.
+  auto H3 = Store.lookup(K, {D1, D2, D3});
+  ASSERT_TRUE(H3);
+  EXPECT_EQ(H3->CP->Index, 150u);
+  EXPECT_EQ(H3->CP->Divergence, (std::vector<SwitchDecision>{D1, D2}));
+
+  // [d1, d3]: B's key is not a prefix of this request; A serves its
+  // deepest snapshot through which d3 can still fire.
+  auto H4 = Store.lookup(K, {D1, D3});
+  ASSERT_TRUE(H4);
+  EXPECT_EQ(H4->CP->Index, 150u);
+  EXPECT_EQ(H4->CP->Divergence, (std::vector<SwitchDecision>{D1}));
+
+  // [d2]: no sealed key prefixes the request at all.
+  EXPECT_FALSE(Store.lookup(K, {D2}).has_value());
+}
+
 // A purpose-built reconvergence subject. The probe's gates dictate its
 // shape: the branch arms are *balanced* (one statement each, so a
 // switched run reaches later trace indices with the same step count as

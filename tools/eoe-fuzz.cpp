@@ -10,8 +10,8 @@
 // it, and the demand-driven locator finds it. Any deviation is printed
 // with the offending seed and program for triage.
 //
-//   eoe-fuzz [--fuzz=pipeline|diskstore|switched] [--seeds N] [--start S]
-//            [--verbose]
+//   eoe-fuzz [--fuzz=pipeline|diskstore|switched|chain] [--seeds N]
+//            [--start S] [--verbose]
 //
 // --fuzz=diskstore targets the persistent checkpoint cache instead:
 // each seed serializes a random program's snapshots, round-trips them,
@@ -26,6 +26,13 @@
 // divergence-keyed snapshots and splices reconvergent suffixes), and
 // cache size-capped -- and asserts the critical predicates, counters,
 // and final pruned slice are bit-identical across all three.
+//
+// --fuzz=chain targets the multi-switch chain search: each reproducing
+// seed runs the locator chain-off (depth 1) and chain-on (depth 2, at 1
+// and 4 threads) and asserts chains only ever *add* located roots --
+// whatever single-switch locating found, the chained locator must find
+// too -- and that the chain-on outcome and chain counters are
+// bit-identical across thread counts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -393,6 +400,117 @@ bool runSwitchedSeed(uint64_t Seed, bool Verbose, SwitchedTally &T) {
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Chain fuzzing: depth-2 perturbation chains may only add information.
+// The chain search fires when both single-switch verdict pools come up
+// empty, so a chained locator must find every root the single-switch
+// locator finds; its extra work must also be thread-count invariant.
+//===----------------------------------------------------------------------===//
+
+struct ChainTally {
+  size_t Generated = 0;
+  size_t Masked = 0;
+  size_t LocatedOff = 0;
+  size_t LocatedOn = 0;
+  size_t Gained = 0;
+  size_t ChainRuns = 0;
+  size_t Commits = 0;
+  size_t Failures = 0;
+};
+
+struct ChainOutcome {
+  bool Found = false;
+  std::string Sig;
+};
+
+bool runChainSeed(uint64_t Seed, bool Verbose, ChainTally &T) {
+  gen::RandomProgramGenerator Gen(Seed);
+  // Alternate fault shapes: even seeds inject the chained omission (no
+  // single switch exposes it -- the chain search must carry the day),
+  // odd seeds the plain one (single switch suffices -- chains must not
+  // get in the way).
+  auto Variant =
+      Seed % 2 == 0 ? Gen.generateChainedOmission() : Gen.generateOmission();
+  ++T.Generated;
+
+  DiagnosticEngine Diags;
+  auto Fixed = lang::parseAndCheck(Variant.FixedSource, Diags);
+  auto Faulty = lang::parseAndCheck(Variant.FaultySource, Diags);
+  if (!Fixed || !Faulty) {
+    std::printf("seed %llu: GENERATED PROGRAM DOES NOT PARSE\n%s\n",
+                static_cast<unsigned long long>(Seed), Diags.str().c_str());
+    ++T.Failures;
+    return false;
+  }
+  analysis::StaticAnalysis FixedSA(*Fixed);
+  interp::Interpreter FixedInterp(*Fixed, FixedSA);
+  std::vector<int64_t> Expected =
+      FixedInterp.run(Variant.Input).outputValues();
+  {
+    core::DebugSession Probe(*Faulty, Variant.Input, Expected, {});
+    if (!Probe.hasFailure()) {
+      ++T.Masked;
+      return true;
+    }
+  }
+  StmtId Root = Faulty->statementAtLine(Variant.RootCauseLine);
+
+  auto Locate = [&](unsigned Depth, unsigned Threads,
+                    support::StatsRegistry *Stats) {
+    core::DebugSession::Config C;
+    C.Opt.Reuse.ChainDepth = Depth;
+    C.Opt.Exec.Threads = Threads;
+    C.Opt.Exec.Stats = Stats;
+    core::DebugSession Session(*Faulty, Variant.Input, Expected, {}, C);
+    RootOnlyOracle Oracle(Root);
+    core::LocateReport R = Session.locate(Oracle);
+    ChainOutcome O;
+    O.Found = R.RootCauseFound;
+    O.Sig = locateSignature(Session, R);
+    return O;
+  };
+
+  ChainOutcome Off = Locate(/*Depth=*/1, /*Threads=*/1, nullptr);
+  support::StatsRegistry Reg1, Reg4;
+  ChainOutcome On1 = Locate(/*Depth=*/2, /*Threads=*/1, &Reg1);
+  ChainOutcome On4 = Locate(/*Depth=*/2, /*Threads=*/4, &Reg4);
+
+  T.LocatedOff += Off.Found;
+  T.LocatedOn += On1.Found;
+  T.Gained += On1.Found && !Off.Found;
+  T.ChainRuns +=
+      static_cast<size_t>(Reg1.counter("verify.chain.runs").get());
+  T.Commits +=
+      static_cast<size_t>(Reg1.counter("locate.chain.commits").get());
+
+  bool Monotone = !Off.Found || On1.Found;
+  bool Deterministic =
+      On1.Sig == On4.Sig &&
+      Reg1.counter("verify.chain.runs").get() ==
+          Reg4.counter("verify.chain.runs").get() &&
+      Reg1.counter("locate.chain.commits").get() ==
+          Reg4.counter("locate.chain.commits").get();
+  bool Ok = Monotone && Deterministic;
+  if (!Ok) {
+    std::printf("seed %llu: CHAIN CONTRACT VIOLATED (monotone=%d, "
+                "thread-invariant=%d; located off=%d on=%d)\n"
+                "--- chain@1 ---\n%s--- chain@4 ---\n%s%s\n",
+                static_cast<unsigned long long>(Seed), Monotone,
+                Deterministic, Off.Found, On1.Found, On1.Sig.c_str(),
+                On4.Sig.c_str(), Variant.FaultySource.c_str());
+    ++T.Failures;
+  } else if (Verbose) {
+    std::printf("seed %llu: ok (located off=%d on=%d, %llu chain runs, "
+                "%llu commits)\n",
+                static_cast<unsigned long long>(Seed), Off.Found, On1.Found,
+                static_cast<unsigned long long>(
+                    Reg1.counter("verify.chain.runs").get()),
+                static_cast<unsigned long long>(
+                    Reg1.counter("locate.chain.commits").get()));
+  }
+  return Ok;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -411,7 +529,8 @@ int main(int Argc, char **Argv) {
       Mode = Argv[I] + 7;
     else {
       std::fprintf(stderr, "usage: eoe-fuzz [--fuzz=pipeline|diskstore|"
-                           "switched] [--seeds N] [--start S] [--verbose]\n");
+                           "switched|chain] [--seeds N] [--start S] "
+                           "[--verbose]\n");
       return 2;
     }
   }
@@ -425,6 +544,26 @@ int main(int Argc, char **Argv) {
                 "snapshot hits, %zu spliced steps, %zu violations\n",
                 T.Generated, formatDouble(Clock.seconds(), 2).c_str(),
                 T.Masked, T.Hits, T.Splices, T.Failures);
+    return T.Failures == 0 ? 0 : 1;
+  }
+  if (Mode == "chain") {
+    ChainTally T;
+    for (uint64_t Seed = Start; Seed < Start + Seeds; ++Seed)
+      runChainSeed(Seed, Verbose, T);
+    // The even seeds exist to exercise the chain machinery; a run where
+    // chains never located anything beyond single switches means the
+    // mode silently stopped testing its subject.
+    if (T.Generated > T.Masked && T.Gained == 0) {
+      std::printf("chain fuzzing never gained a located root over "
+                  "single-switch -- chained subjects are not firing\n");
+      ++T.Failures;
+    }
+    std::printf("chain-fuzzed %zu programs in %s s: %zu masked, located "
+                "%zu off / %zu on (%zu gained), %zu chain runs, %zu "
+                "commits, %zu violations\n",
+                T.Generated, formatDouble(Clock.seconds(), 2).c_str(),
+                T.Masked, T.LocatedOff, T.LocatedOn, T.Gained, T.ChainRuns,
+                T.Commits, T.Failures);
     return T.Failures == 0 ? 0 : 1;
   }
   if (Mode == "diskstore") {

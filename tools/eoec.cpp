@@ -27,6 +27,7 @@
 #include "lang/PrettyPrinter.h"
 #include "support/Diagnostic.h"
 #include "support/EventTracer.h"
+#include "support/Options.h"
 #include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "interp/TraceIO.h"
@@ -49,15 +50,15 @@ struct CliOptions {
   std::string File;
   std::vector<int64_t> Input;
   std::vector<int64_t> Expected;
-  uint64_t MaxSteps = 5'000'000;
-  unsigned Threads = 0;
-  unsigned Checkpoints = interp::CheckpointStrideAuto;
-  size_t CheckpointMemBytes = interp::DefaultCheckpointMemBytes;
-  bool CheckpointDelta = true;
-  bool CheckpointShare = true;
-  std::string CheckpointDir;
-  size_t CheckpointDirCapBytes = 0;
-  size_t SwitchedCacheBytes = interp::DefaultSwitchedCacheBytes;
+  /// Every shared knob (budgets, threads, checkpoint / switched-cache /
+  /// chain options) lives in the unified bundle, parsed by
+  /// support::parseCommonOption so the CLI cannot drift from the
+  /// structs. Opt.Exec.Stats/Tracer are wired by main() when Cli asks
+  /// for them.
+  eoe::Options Opt;
+  /// Observability requests (--stats[=json], --trace-out=FILE); the
+  /// sinks are owned by main() and live through the whole command.
+  support::CommonCliState Cli;
   uint32_t Line = 0;
   uint32_t Instance = 1;
   uint32_t RootLine = 0;
@@ -65,14 +66,6 @@ struct CliOptions {
   bool Relevant = false;
   std::string Function = "main";
   std::string SavePath;
-
-  /// Observability: --stats[=json] and --trace-out=FILE. The sinks are
-  /// owned by main() and live through the whole command.
-  bool Stats = false;
-  bool StatsJson = false;
-  std::string TraceOut;
-  support::StatsRegistry *StatsReg = nullptr;
-  support::EventTracer *Tracer = nullptr;
 };
 
 void usage() {
@@ -94,53 +87,8 @@ void usage() {
       "  --line L              predicate source line (switch)\n"
       "  --instance K          1-based instance number (default 1)\n"
       "  --root-line N         known root cause line (locate)\n"
-      "  --max-steps N         step budget (default 5000000)\n"
-      "  --threads N           verification worker threads (locate);\n"
-      "                        0 = all hardware threads, 1 = serial\n"
-      "  --no-trace            run without dependence tracing (run)\n"
-      "  --stats[=json]        per-phase pipeline statistics: a table on\n"
-      "                        stderr, or =json for schema eoe-stats-v1\n"
-      "                        JSON as the last stdout line\n"
-      "  --trace-out=FILE      write a Chrome trace_event JSON timeline\n"
-      "                        (open in chrome://tracing or Perfetto)\n"
-      "checkpoint options (locate; every knob yields bit-identical\n"
-      "reports -- they only trade re-execution work for memory/disk):\n"
-      "  --checkpoints=N|auto|off\n"
-      "                        checkpoint stride for switched runs:\n"
-      "                        snapshot every Nth candidate predicate\n"
-      "                        instance and resume instead of replaying\n"
-      "                        the prefix; auto (default) tunes the\n"
-      "                        stride from trace length, candidate\n"
-      "                        density, and the memory budget; off = full\n"
-      "                        replay\n"
-      "  --checkpoint-mem MB   checkpoint LRU memory budget in MiB\n"
-      "                        (default 256)\n"
-      "  --checkpoint-delta=on|off\n"
-      "                        delta-compress consecutive snapshots,\n"
-      "                        charging the budget with encoded bytes\n"
-      "                        (default on)\n"
-      "  --checkpoint-share=on|off\n"
-      "                        promote input-independent snapshots into a\n"
-      "                        cross-session store (default on)\n"
-      "  --switched-cache=MB|off\n"
-      "                        switched-run snapshot cache: capture\n"
-      "                        divergence-keyed snapshots past the switch\n"
-      "                        point, resume deeper switched runs from\n"
-      "                        them, and splice the original trace's\n"
-      "                        suffix once a switched run reconverges\n"
-      "                        (default 64 MiB; off = always interpret\n"
-      "                        the full switched run)\n"
-      "  --checkpoint-dir=DIR  persistent checkpoint cache: load\n"
-      "                        input-independent snapshots for this\n"
-      "                        program from DIR on start and write them\n"
-      "                        back atomically on exit, warm-starting\n"
-      "                        later invocations (requires\n"
-      "                        --checkpoint-share=on)\n"
-      "  --checkpoint-dir-cap=MB\n"
-      "                        after saving, cap DIR at MB MiB: delete\n"
-      "                        stale writer temp files, then evict cache\n"
-      "                        files oldest-first until under the cap\n"
-      "                        (default: unlimited)\n");
+      "  --no-trace            run without dependence tracing (run)\n");
+  std::fputs(support::commonOptionsHelp(), stderr);
 }
 
 std::vector<int64_t> parseIntList(const std::string &Text) {
@@ -159,6 +107,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   Opts.Command = Argv[1];
   Opts.File = Argv[2];
   for (int I = 3; I < Argc; ++I) {
+    // The shared knobs (budgets, threads, checkpoint / switched-cache /
+    // chain flags, observability) are handled by the one parser every
+    // front end uses; only command-specific flags remain below.
+    switch (support::parseCommonOption(Argc, Argv, I, Opts.Opt, &Opts.Cli)) {
+    case support::ParseResult::Ok:
+      continue;
+    case support::ParseResult::Error:
+      return false;
+    case support::ParseResult::NoMatch:
+      break;
+    }
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       if (I + 1 >= Argc) {
@@ -192,83 +151,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.RootLine = static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
-    } else if (Arg == "--max-steps") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.MaxSteps = std::strtoull(V, nullptr, 10);
-    } else if (Arg == "--threads") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    } else if (Arg.rfind("--checkpoints=", 0) == 0) {
-      std::string V = Arg.substr(std::strlen("--checkpoints="));
-      Opts.Checkpoints =
-          V == "off"
-              ? interp::CheckpointsOff
-              : V == "auto"
-                    ? interp::CheckpointStrideAuto
-                    : static_cast<unsigned>(
-                          std::strtoul(V.c_str(), nullptr, 10));
-    } else if (Arg == "--checkpoints") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.Checkpoints =
-          std::strcmp(V, "off") == 0
-              ? interp::CheckpointsOff
-              : std::strcmp(V, "auto") == 0
-                    ? interp::CheckpointStrideAuto
-                    : static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    } else if (Arg.rfind("--checkpoint-delta=", 0) == 0) {
-      Opts.CheckpointDelta =
-          Arg.substr(std::strlen("--checkpoint-delta=")) != "off";
-    } else if (Arg.rfind("--checkpoint-share=", 0) == 0) {
-      Opts.CheckpointShare =
-          Arg.substr(std::strlen("--checkpoint-share=")) != "off";
-    } else if (Arg.rfind("--switched-cache=", 0) == 0) {
-      std::string V = Arg.substr(std::strlen("--switched-cache="));
-      Opts.SwitchedCacheBytes =
-          V == "off" ? 0
-                     : static_cast<size_t>(
-                           std::strtoull(V.c_str(), nullptr, 10))
-                           << 20;
-    } else if (Arg == "--switched-cache") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.SwitchedCacheBytes =
-          std::strcmp(V, "off") == 0
-              ? 0
-              : static_cast<size_t>(std::strtoull(V, nullptr, 10)) << 20;
-    } else if (Arg.rfind("--checkpoint-dir-cap=", 0) == 0) {
-      Opts.CheckpointDirCapBytes =
-          std::strtoull(Arg.c_str() + std::strlen("--checkpoint-dir-cap="),
-                        nullptr, 10)
-          << 20;
-    } else if (Arg == "--checkpoint-dir-cap") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.CheckpointDirCapBytes = std::strtoull(V, nullptr, 10) << 20;
-    } else if (Arg.rfind("--checkpoint-dir=", 0) == 0) {
-      Opts.CheckpointDir = Arg.substr(std::strlen("--checkpoint-dir="));
-    } else if (Arg == "--checkpoint-dir") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.CheckpointDir = V;
-    } else if (Arg.rfind("--checkpoint-mem=", 0) == 0) {
-      Opts.CheckpointMemBytes =
-          std::strtoull(Arg.c_str() + std::strlen("--checkpoint-mem="),
-                        nullptr, 10)
-          << 20;
-    } else if (Arg == "--checkpoint-mem") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.CheckpointMemBytes = std::strtoull(V, nullptr, 10) << 20;
     } else if (Arg == "--save") {
       const char *V = Next();
       if (!V)
@@ -279,18 +161,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Function = V;
-    } else if (Arg == "--stats") {
-      Opts.Stats = true;
-    } else if (Arg == "--stats=json") {
-      Opts.Stats = true;
-      Opts.StatsJson = true;
-    } else if (Arg.rfind("--trace-out=", 0) == 0) {
-      Opts.TraceOut = Arg.substr(std::strlen("--trace-out="));
-    } else if (Arg == "--trace-out") {
-      const char *V = Next();
-      if (!V)
-        return false;
-      Opts.TraceOut = V;
     } else if (Arg == "--no-trace") {
       Opts.NoTrace = true;
     } else if (Arg == "--relevant") {
@@ -332,13 +202,13 @@ const char *exitReasonName(interp::ExitReason Reason) {
 
 int cmdRun(const CliOptions &Opts, const lang::Program &Prog) {
   analysis::StaticAnalysis SA(Prog);
-  interp::Interpreter Interp(Prog, SA, Opts.StatsReg);
+  interp::Interpreter Interp(Prog, SA, Opts.Opt.Exec.Stats);
   interp::Interpreter::Options RunOpts;
-  RunOpts.MaxSteps = Opts.MaxSteps;
+  RunOpts.MaxSteps = Opts.Opt.Exec.MaxSteps;
   RunOpts.Trace = !Opts.NoTrace;
   interp::ExecutionTrace T;
   {
-    support::EventTracer::Span Span(Opts.Tracer, "interpret", "interp");
+    support::EventTracer::Span Span(Opts.Opt.Exec.Tracer, "interpret", "interp");
     T = Interp.run(Opts.Input, RunOpts);
   }
   for (const interp::OutputEvent &E : T.Outputs)
@@ -351,12 +221,12 @@ int cmdRun(const CliOptions &Opts, const lang::Program &Prog) {
 
 int cmdTrace(const CliOptions &Opts, const lang::Program &Prog) {
   analysis::StaticAnalysis SA(Prog);
-  interp::Interpreter Interp(Prog, SA, Opts.StatsReg);
+  interp::Interpreter Interp(Prog, SA, Opts.Opt.Exec.Stats);
   interp::Interpreter::Options RunOpts;
-  RunOpts.MaxSteps = Opts.MaxSteps;
+  RunOpts.MaxSteps = Opts.Opt.Exec.MaxSteps;
   interp::ExecutionTrace T;
   {
-    support::EventTracer::Span Span(Opts.Tracer, "interpret", "interp");
+    support::EventTracer::Span Span(Opts.Opt.Exec.Tracer, "interpret", "interp");
     T = Interp.run(Opts.Input, RunOpts);
   }
   if (!Opts.SavePath.empty()) {
@@ -394,16 +264,16 @@ int cmdSwitch(const CliOptions &Opts, const lang::Program &Prog) {
     return 2;
   }
   analysis::StaticAnalysis SA(Prog);
-  interp::Interpreter Interp(Prog, SA, Opts.StatsReg);
+  interp::Interpreter Interp(Prog, SA, Opts.Opt.Exec.Stats);
   interp::ExecutionTrace Original, Switched;
   {
-    support::EventTracer::Span Span(Opts.Tracer, "interpret", "interp");
+    support::EventTracer::Span Span(Opts.Opt.Exec.Tracer, "interpret", "interp");
     Original = Interp.run(Opts.Input);
   }
   {
-    support::EventTracer::Span Span(Opts.Tracer, "reexec", "interp");
+    support::EventTracer::Span Span(Opts.Opt.Exec.Tracer, "reexec", "interp");
     Switched = Interp.runSwitched(Opts.Input, {Pred, Opts.Instance},
-                                  Opts.MaxSteps);
+                                  Opts.Opt.Exec.MaxSteps);
   }
 
   std::printf("original outputs: ");
@@ -429,8 +299,7 @@ int cmdSlice(const CliOptions &Opts, const lang::Program &Prog) {
     return 2;
   }
   core::DebugSession::Config Config;
-  Config.Stats = Opts.StatsReg;
-  Config.Tracer = Opts.Tracer;
+  Config.Opt = Opts.Opt;
   core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
     std::printf("no failure: outputs match the expected sequence\n");
@@ -489,23 +358,16 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
     return 2;
   }
   core::DebugSession::Config Config;
-  Config.MaxSteps = Opts.MaxSteps;
-  Config.Threads = Opts.Threads;
-  Config.Locate.Checkpoints = Opts.Checkpoints;
-  Config.Locate.CheckpointMemBytes = Opts.CheckpointMemBytes;
-  Config.Locate.CheckpointDelta = Opts.CheckpointDelta;
-  Config.Locate.CheckpointShare = Opts.CheckpointShare;
-  Config.Locate.CheckpointDir = Opts.CheckpointDir;
-  Config.Locate.SwitchedCacheBytes = Opts.SwitchedCacheBytes;
-  Config.Stats = Opts.StatsReg;
-  Config.Tracer = Opts.Tracer;
+  // The whole unified knob bundle forwards in one assignment; the
+  // parser already filled every budget/thread/reuse/observability field.
+  Config.Opt = Opts.Opt;
   // One CLI invocation is one session, but wiring the stores keeps the
   // promotion paths (and their counters) live for --stats users.
   interp::SharedCheckpointStore Shared;
-  if (Opts.CheckpointShare)
+  if (Opts.Opt.Reuse.CheckpointShare)
     Config.SharedCheckpoints = &Shared;
-  interp::SwitchedRunStore SwitchedRuns(Opts.SwitchedCacheBytes);
-  if (Opts.SwitchedCacheBytes > 0)
+  interp::SwitchedRunStore SwitchedRuns(Opts.Opt.Reuse.SwitchedCacheBytes);
+  if (Opts.Opt.Reuse.SwitchedCacheBytes > 0)
     Config.SwitchedRuns = &SwitchedRuns;
   core::DebugSession Session(Prog, Opts.Input, Opts.Expected, {}, Config);
   if (!Session.hasFailure()) {
@@ -517,16 +379,17 @@ int cmdLocate(const CliOptions &Opts, const lang::Program &Prog) {
   // Write-on-exit half of the warm start: persist whatever this session
   // loaded plus newly promoted under the same (program, budget) key the
   // session loaded with. Atomic (temp file + rename); best-effort.
-  if (!Opts.CheckpointDir.empty() && Opts.CheckpointShare) {
-    interp::CheckpointDiskStore Disk(Opts.CheckpointDir);
-    if (!Disk.save(Shared, Prog, Config.Locate.MaxSteps, Opts.StatsReg))
+  if (!Opts.Opt.Reuse.CheckpointDir.empty() &&
+      Opts.Opt.Reuse.CheckpointShare) {
+    interp::CheckpointDiskStore Disk(Opts.Opt.Reuse.CheckpointDir);
+    if (!Disk.save(Shared, Prog, Config.Locate.MaxSteps, Opts.Opt.Exec.Stats))
       std::fprintf(stderr, "warning: could not write checkpoint cache in %s\n",
-                   Opts.CheckpointDir.c_str());
+                   Opts.Opt.Reuse.CheckpointDir.c_str());
     // Cap the directory after the save so this invocation's own file
     // competes for the budget on equal (freshest-mtime) footing.
-    if (Opts.CheckpointDirCapBytes > 0)
-      Disk.sweep(Opts.CheckpointDirCapBytes, std::chrono::hours(1),
-                 Opts.StatsReg);
+    if (Opts.Opt.Reuse.CheckpointDirCapBytes > 0)
+      Disk.sweep(Opts.Opt.Reuse.CheckpointDirCapBytes, std::chrono::hours(1),
+                 Opts.Opt.Exec.Stats);
   }
   std::printf("located: %s\n", R.RootCauseFound ? "yes" : "no");
   std::printf("iterations=%zu verifications=%zu re-executions=%zu "
@@ -569,7 +432,7 @@ int cmdDot(const CliOptions &Opts, const lang::Program &Prog) {
   analysis::StaticAnalysis SA(Prog);
   interp::Interpreter Interp(Prog, SA);
   interp::Interpreter::Options RunOpts;
-  RunOpts.MaxSteps = Opts.MaxSteps;
+  RunOpts.MaxSteps = Opts.Opt.Exec.MaxSteps;
   interp::ExecutionTrace T = Interp.run(Opts.Input, RunOpts);
 
   if (Opts.Command == "dot-regions") {
@@ -607,10 +470,10 @@ int main(int Argc, char **Argv) {
   // The sinks outlive the command so the final dump sees everything.
   support::StatsRegistry Stats;
   support::EventTracer Tracer;
-  if (Opts.Stats || !Opts.TraceOut.empty())
-    Opts.StatsReg = &Stats;
-  if (!Opts.TraceOut.empty())
-    Opts.Tracer = &Tracer;
+  if (Opts.Cli.Stats || !Opts.Cli.TraceOut.empty())
+    Opts.Opt.Exec.Stats = &Stats;
+  if (!Opts.Cli.TraceOut.empty())
+    Opts.Opt.Exec.Tracer = &Tracer;
 
   int Rc = 2;
   bool Known = true;
@@ -636,14 +499,14 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  if (!Opts.TraceOut.empty() && !Tracer.writeFile(Opts.TraceOut)) {
+  if (!Opts.Cli.TraceOut.empty() && !Tracer.writeFile(Opts.Cli.TraceOut)) {
     std::fprintf(stderr, "error: cannot write trace file '%s'\n",
-                 Opts.TraceOut.c_str());
+                 Opts.Cli.TraceOut.c_str());
     return 2;
   }
-  if (Opts.StatsJson)
+  if (Opts.Cli.StatsJson)
     std::printf("%s\n", Stats.toJson().c_str());
-  else if (Opts.Stats)
+  else if (Opts.Cli.Stats)
     std::fprintf(stderr, "%s", Stats.str().c_str());
   return Rc;
 }
